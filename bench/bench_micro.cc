@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark): executor throughput, redundancy
+// pruning & fingerprinting overhead, relation-op scaling, mutation and GP
+// evaluation throughput. These quantify the constants behind Table 6: the
+// structural fingerprint costs microseconds while a probe evaluation costs
+// milliseconds — which is why pruning searches an order of magnitude more
+// alphas per unit time.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/evaluator.h"
+#include "core/evolution.h"
+#include "core/generators.h"
+#include "core/mutator.h"
+#include "core/pruning.h"
+#include "ga/expr.h"
+#include "market/dataset.h"
+
+namespace {
+
+using namespace alphaevolve;
+
+const market::Dataset& BenchDataset(int num_stocks) {
+  static std::map<int, market::Dataset>* cache =
+      new std::map<int, market::Dataset>();
+  auto it = cache->find(num_stocks);
+  if (it == cache->end()) {
+    market::MarketConfig mc = market::MarketConfig::BenchScale();
+    mc.num_stocks = num_stocks;
+    mc.num_days = 300;
+    mc.seed = 11;
+    it = cache->emplace(num_stocks,
+                        market::Dataset::Simulate(mc, {})).first;
+  }
+  return it->second;
+}
+
+void BM_ExecutorExpertAlpha(benchmark::State& state) {
+  const auto& ds = BenchDataset(static_cast<int>(state.range(0)));
+  core::Executor exec(ds, core::ExecutorConfig{});
+  const auto prog = core::MakeExpertAlpha(ds.window());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Run(prog, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_tasks());
+}
+BENCHMARK(BM_ExecutorExpertAlpha)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ExecutorNeuralNetAlpha(benchmark::State& state) {
+  const auto& ds = BenchDataset(64);
+  core::Executor exec(ds, core::ExecutorConfig{});
+  const auto prog = core::MakeNeuralNetAlpha(ds.window());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Run(prog, 1));
+  }
+}
+BENCHMARK(BM_ExecutorNeuralNetAlpha);
+
+void BM_ExecutorRelationOps(benchmark::State& state) {
+  // An alpha dominated by cross-task relation ops, to measure their cost.
+  const auto& ds = BenchDataset(static_cast<int>(state.range(0)));
+  core::Executor exec(ds, core::ExecutorConfig{});
+  core::AlphaProgram prog = core::MakeExpertAlpha(ds.window());
+  core::Instruction rank;
+  rank.op = core::Op::kRank;
+  rank.out = core::kPredictionScalar;
+  rank.in1 = core::kPredictionScalar;
+  prog.predict.push_back(rank);
+  core::Instruction rrank;
+  rrank.op = core::Op::kRelationRank;
+  rrank.out = core::kPredictionScalar;
+  rrank.in1 = core::kPredictionScalar;
+  rrank.idx0 = 1;
+  prog.predict.push_back(rrank);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.Run(prog, 1));
+  }
+}
+BENCHMARK(BM_ExecutorRelationOps)->Arg(32)->Arg(128);
+
+void BM_PruneAndFingerprint(benchmark::State& state) {
+  // The paper's evaluation-free fingerprint: microseconds per candidate.
+  core::MutatorConfig mcfg;
+  core::Mutator mutator(mcfg);
+  Rng rng(3);
+  core::AlphaProgram prog = core::MakeNeuralNetAlpha(13);
+  for (int i = 0; i < 30; ++i) prog = mutator.Mutate(prog, rng);
+  for (auto _ : state) {
+    auto pruned = core::PruneRedundant(prog, mcfg.limits);
+    benchmark::DoNotOptimize(core::Fingerprint(pruned.pruned));
+  }
+}
+BENCHMARK(BM_PruneAndFingerprint);
+
+void BM_ProbeFingerprint(benchmark::State& state) {
+  // The AutoML-Zero functional fingerprint: a real (truncated) evaluation.
+  const auto& ds = BenchDataset(64);
+  core::Evaluator evaluator(ds, core::EvaluatorConfig{});
+  const auto prog = core::MakeNeuralNetAlpha(ds.window());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.ProbeFingerprint(prog, 1));
+  }
+}
+BENCHMARK(BM_ProbeFingerprint);
+
+void BM_FullEvaluation(benchmark::State& state) {
+  const auto& ds = BenchDataset(64);
+  core::Evaluator evaluator(ds, core::EvaluatorConfig{});
+  const auto prog = core::MakeNeuralNetAlpha(ds.window());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(prog, 1, false));
+  }
+}
+BENCHMARK(BM_FullEvaluation);
+
+void BM_Mutation(benchmark::State& state) {
+  core::Mutator mutator{core::MutatorConfig{}};
+  Rng rng(5);
+  core::AlphaProgram prog = core::MakeNeuralNetAlpha(13);
+  for (auto _ : state) {
+    prog = mutator.Mutate(prog, rng);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_Mutation);
+
+void BM_GpTreeEvaluation(benchmark::State& state) {
+  const auto& ds = BenchDataset(64);
+  Rng rng(7);
+  const auto tree = ga::RandomTree(rng, ds.num_features(), 6, true);
+  const int date = ds.dates(market::Split::kValid)[0];
+  for (auto _ : state) {
+    double sum = 0;
+    for (int k = 0; k < ds.num_tasks(); ++k) {
+      sum += tree->Eval(ds.FeatureRow(k, date));
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.num_tasks());
+}
+BENCHMARK(BM_GpTreeEvaluation);
+
+void BM_MarketSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    market::MarketConfig mc = market::MarketConfig::BenchScale();
+    mc.num_stocks = static_cast<int>(state.range(0));
+    mc.num_days = 300;
+    mc.seed = 1;
+    benchmark::DoNotOptimize(market::Dataset::Simulate(mc, {}));
+  }
+}
+BENCHMARK(BM_MarketSimulation)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

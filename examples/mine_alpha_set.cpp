@@ -1,0 +1,70 @@
+// Weakly-correlated alpha-set mining (the paper's §5.4.1 loop): run several
+// rounds, each with the 15% cutoff against everything already accepted, and
+// show that the final set A is pairwise weakly correlated.
+//
+// Run: ./build/examples/mine_alpha_set [rounds] [seconds_per_search]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/evaluator.h"
+#include "core/generators.h"
+#include "core/mining.h"
+#include "eval/metrics.h"
+#include "market/dataset.h"
+
+using namespace alphaevolve;
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
+
+  market::MarketConfig mc = market::MarketConfig::BenchScale();
+  mc.num_stocks = 80;
+  mc.num_days = 420;
+  mc.seed = 9;
+  market::Dataset dataset = market::Dataset::Simulate(mc, {});
+  core::Evaluator evaluator(dataset, core::EvaluatorConfig{});
+
+  core::EvolutionConfig config;
+  config.max_candidates = 0;
+  config.time_budget_seconds = seconds;
+  core::WeaklyCorrelatedMiner miner(evaluator, config);
+
+  std::printf("mining %d rounds, %.1fs each, cutoff %.0f%%\n\n", rounds,
+              seconds, config.correlation_cutoff * 100);
+  for (int round = 0; round < rounds; ++round) {
+    const core::AlphaProgram init = core::MakeExpertAlpha(dataset.window());
+    const core::EvolutionResult r =
+        miner.RunSearch(init, static_cast<uint64_t>(round) + 1);
+    if (!r.has_alpha) {
+      std::printf("round %d: no uncorrelated alpha found (searched %lld)\n",
+                  round, static_cast<long long>(r.stats.candidates));
+      continue;
+    }
+    const double corr = miner.CorrelationWithAccepted(r.best_metrics);
+    std::printf(
+        "round %d: IC(valid)=%.4f Sharpe(valid)=%.2f corr-with-A=%s "
+        "(searched %lld, cutoff-discarded %lld)\n",
+        round, r.best_metrics.ic_valid, r.best_metrics.sharpe_valid,
+        std::isnan(corr) ? "NA" : std::to_string(corr).c_str(),
+        static_cast<long long>(r.stats.candidates),
+        static_cast<long long>(r.stats.cutoff_discarded));
+    miner.Accept("alpha_" + std::to_string(round), r.best, r.best_metrics);
+  }
+
+  // The defining property of A: pairwise weak correlation.
+  const auto& accepted = miner.accepted();
+  std::printf("\npairwise |correlation| of accepted validation returns:\n");
+  for (size_t i = 0; i < accepted.size(); ++i) {
+    for (size_t j = 0; j < accepted.size(); ++j) {
+      const double c = eval::PortfolioCorrelation(
+          accepted[i].metrics.valid_portfolio_returns,
+          accepted[j].metrics.valid_portfolio_returns);
+      std::printf("%7.3f", c);
+    }
+    std::printf("   %s\n", accepted[i].name.c_str());
+  }
+  return 0;
+}

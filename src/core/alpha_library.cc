@@ -1,0 +1,162 @@
+#include "core/alpha_library.h"
+
+#include "core/generators.h"
+#include "market/features.h"
+#include "util/check.h"
+
+namespace alphaevolve::core {
+namespace {
+
+Instruction Ins(Op op, int out, int in1 = 0, int in2 = 0) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.in1 = static_cast<uint8_t>(in1);
+  ins.in2 = static_cast<uint8_t>(in2);
+  return ins;
+}
+
+Instruction Const(int out, double v) {
+  Instruction ins;
+  ins.op = Op::kScalarConst;
+  ins.out = static_cast<uint8_t>(out);
+  ins.imm0 = v;
+  return ins;
+}
+
+Instruction Get(int out, int feature, int day) {
+  Instruction ins;
+  ins.op = Op::kGetScalar;
+  ins.out = static_cast<uint8_t>(out);
+  ins.idx0 = static_cast<uint8_t>(feature);
+  ins.idx1 = static_cast<uint8_t>(day);
+  return ins;
+}
+
+Instruction Noop() { return Instruction{}; }
+
+}  // namespace
+
+LibraryAlpha MakeIntradayReversalAlpha(int input_dim) {
+  return {"intraday_reversal",
+          "(open - close) / (high - low + eps): fade the day's move",
+          MakeExpertAlpha(input_dim)};
+}
+
+LibraryAlpha MakeMeanReversionAlpha(int input_dim) {
+  AE_CHECK(input_dim == market::kNumFeatures);
+  const int last = input_dim - 1;
+  AlphaProgram p;
+  p.setup.push_back(Const(2, 1.0));
+  p.predict.push_back(Get(3, market::kClose, last));
+  p.predict.push_back(Get(4, market::kMa20, last));
+  p.predict.push_back(Ins(Op::kScalarDiv, 5, 3, 4));     // close / ma20
+  p.predict.push_back(Ins(Op::kScalarSub, 1, 2, 5));     // 1 - close/ma20
+  p.update.push_back(Noop());
+  return {"mean_reversion", "-(close/MA20 - 1): revert to the 20d average",
+          p};
+}
+
+LibraryAlpha MakeMomentumAlpha(int input_dim) {
+  AE_CHECK(input_dim == market::kNumFeatures);
+  const int last = input_dim - 1;
+  AlphaProgram p;
+  p.setup.push_back(Noop());
+  p.predict.push_back(Get(3, market::kClose, last));
+  p.predict.push_back(Get(4, market::kClose, 0));        // oldest day in X
+  p.predict.push_back(Ins(Op::kScalarDiv, 1, 3, 4));     // now / then
+  p.update.push_back(Noop());
+  return {"momentum", "close_t / close_{t-w+1}: window momentum", p};
+}
+
+LibraryAlpha MakeCrossSectionalReversalAlpha(int input_dim) {
+  AE_CHECK(input_dim == market::kNumFeatures);
+  const int last = input_dim - 1;
+  AlphaProgram p;
+  p.setup.push_back(Const(2, 1.0));
+  p.predict.push_back(Get(3, market::kClose, last));
+  p.predict.push_back(Get(4, market::kClose, 0));
+  p.predict.push_back(Ins(Op::kScalarDiv, 5, 3, 4));
+  p.predict.push_back(Ins(Op::kRank, 6, 5));             // cross-task rank
+  p.predict.push_back(Ins(Op::kScalarSub, 1, 2, 6));     // 1 - rank: reversal
+  p.update.push_back(Noop());
+  return {"xs_reversal",
+          "1 - rank(window momentum): fade cross-sectional winners", p};
+}
+
+LibraryAlpha MakeSectorRelativeStrengthAlpha(int input_dim) {
+  AE_CHECK(input_dim == market::kNumFeatures);
+  const int last = input_dim - 1;
+  AlphaProgram p;
+  p.setup.push_back(Noop());
+  p.predict.push_back(Get(3, market::kClose, last));
+  p.predict.push_back(Get(4, market::kMa10, last));
+  p.predict.push_back(Ins(Op::kScalarDiv, 5, 3, 4));
+  Instruction demean = Ins(Op::kRelationDemean, 1, 5);
+  demean.idx0 = 0;  // sector
+  p.predict.push_back(demean);
+  p.update.push_back(Noop());
+  return {"sector_relative_strength",
+          "close/MA10 demeaned within sector (RelationOp)", p};
+}
+
+LibraryAlpha MakeVolatilityRegimeAlpha(int input_dim) {
+  AE_CHECK(input_dim == market::kNumFeatures);
+  const int last = input_dim - 1;
+  AlphaProgram p;
+  p.setup.push_back(Const(2, 0.001));
+  p.predict.push_back(Get(3, market::kVol5, last));
+  p.predict.push_back(Get(4, market::kVol30, last));
+  p.predict.push_back(Ins(Op::kScalarAdd, 5, 4, 2));     // vol30 + eps
+  p.predict.push_back(Ins(Op::kScalarDiv, 6, 3, 5));     // vol5/vol30
+  p.predict.push_back(Const(7, 0.0));
+  p.predict.push_back(Ins(Op::kScalarSub, 1, 7, 6));     // negate
+  p.update.push_back(Noop());
+  return {"vol_regime", "-(vol5/vol30): prefer calming names", p};
+}
+
+LibraryAlpha MakeVolumeAdjustedReversalAlpha(int input_dim) {
+  AE_CHECK(input_dim == market::kNumFeatures);
+  const int last = input_dim - 1;
+  AlphaProgram p;
+  p.setup.push_back(Const(2, 0.001));
+  p.predict.push_back(Get(3, market::kClose, last));
+  p.predict.push_back(Get(4, market::kOpen, last));
+  p.predict.push_back(Ins(Op::kScalarSub, 5, 4, 3));     // open - close
+  p.predict.push_back(Get(6, market::kVolume, last));
+  p.predict.push_back(Ins(Op::kScalarAdd, 7, 6, 2));     // volume + eps
+  p.predict.push_back(Ins(Op::kScalarMul, 1, 5, 7));     // scale by volume
+  p.update.push_back(Noop());
+  return {"volume_adjusted_reversal",
+          "(open - close) * volume: reversal weighted by activity", p};
+}
+
+LibraryAlpha MakeTsRankAlpha(int input_dim) {
+  AE_CHECK(input_dim == market::kNumFeatures);
+  const int last = input_dim - 1;
+  AlphaProgram p;
+  p.setup.push_back(Const(2, 1.0));
+  p.predict.push_back(Get(3, market::kClose, last));
+  Instruction ts = Ins(Op::kTsRank, 4, 3);
+  ts.idx0 = static_cast<uint8_t>(input_dim - 1);
+  p.predict.push_back(ts);
+  p.predict.push_back(Ins(Op::kScalarSub, 1, 2, 4));     // fade ts-highs
+  p.update.push_back(Noop());
+  return {"ts_rank_reversal",
+          "1 - ts_rank(close): fade names at time-series highs", p};
+}
+
+std::vector<LibraryAlpha> StandardAlphaLibrary(int input_dim) {
+  return {
+      MakeIntradayReversalAlpha(input_dim),
+      MakeMeanReversionAlpha(input_dim),
+      MakeMomentumAlpha(input_dim),
+      MakeCrossSectionalReversalAlpha(input_dim),
+      MakeSectorRelativeStrengthAlpha(input_dim),
+      MakeVolatilityRegimeAlpha(input_dim),
+      MakeVolumeAdjustedReversalAlpha(input_dim),
+      MakeTsRankAlpha(input_dim),
+  };
+}
+
+}  // namespace alphaevolve::core

@@ -1,0 +1,57 @@
+#ifndef ALPHAEVOLVE_CORE_ALPHA_LIBRARY_H_
+#define ALPHAEVOLVE_CORE_ALPHA_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+
+namespace alphaevolve::core {
+
+/// A catalogue of classic formulaic alphas written in AlphaEvolve
+/// instruction form, in the spirit of Kakushadze's "101 Formulaic Alphas"
+/// [13] — the designs hedge-fund experts backtest in the paper's Figure 1
+/// pipeline. Each is a pure Predict()-side formula (no parameters), i.e.
+/// the degenerate case of the paper's new alpha class, and each is a valid
+/// starting parent for evolution (an alternative to `MakeExpertAlpha`).
+///
+/// All programs validate against the default ProgramLimits and use only
+/// ExtractionOps + scalar/relation math, so they are cheap to evaluate.
+struct LibraryAlpha {
+  std::string name;
+  std::string description;
+  AlphaProgram program;
+};
+
+/// s1 = (open − close)/(high − low + ε): intraday reversal (the default
+/// expert initialization).
+LibraryAlpha MakeIntradayReversalAlpha(int input_dim);
+
+/// s1 = close/MA20 − 1, negated: mean reversion toward the 20-day average.
+LibraryAlpha MakeMeanReversionAlpha(int input_dim);
+
+/// s1 = close_t / close_{t−w+1} − 1: window-length price momentum.
+LibraryAlpha MakeMomentumAlpha(int input_dim);
+
+/// s1 = −rank(close_t / close_{t−w+1}): cross-sectional momentum reversal
+/// (uses the RankOp — relational domain knowledge).
+LibraryAlpha MakeCrossSectionalReversalAlpha(int input_dim);
+
+/// s1 = relation_demean(close/MA10, sector): sector-relative strength.
+LibraryAlpha MakeSectorRelativeStrengthAlpha(int input_dim);
+
+/// s1 = −vol5/vol30: volatility-regime alpha (short- vs long-horizon vol).
+LibraryAlpha MakeVolatilityRegimeAlpha(int input_dim);
+
+/// s1 = −(close − open)/volume-scaled range: volume-adjusted reversal.
+LibraryAlpha MakeVolumeAdjustedReversalAlpha(int input_dim);
+
+/// s1 = ts_rank(close, w): time-series rank of today's close in the window.
+LibraryAlpha MakeTsRankAlpha(int input_dim);
+
+/// The full catalogue, in a stable order.
+std::vector<LibraryAlpha> StandardAlphaLibrary(int input_dim);
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_ALPHA_LIBRARY_H_

@@ -1,0 +1,65 @@
+#include "core/evaluator.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "eval/metrics.h"
+#include "core/pruning.h"
+#include "util/check.h"
+
+namespace alphaevolve::core {
+
+Evaluator::Evaluator(const market::Dataset& dataset, EvaluatorConfig config)
+    : dataset_(dataset),
+      config_(config),
+      executor_(dataset, config.executor),
+      probe_executor_(dataset, config.executor) {}
+
+AlphaMetrics Evaluator::Evaluate(const AlphaProgram& program, uint64_t seed,
+                                 bool include_test) {
+  AlphaMetrics m;
+  ExecutionResult r = executor_.Run(program, seed, include_test);
+  if (!r.valid) return m;  // m.valid == false, fitness kInvalidFitness
+
+  const auto& valid_dates = dataset_.dates(market::Split::kValid);
+  m.valid = true;
+  m.ic_valid = eval::InformationCoefficient(dataset_, valid_dates,
+                                            r.valid_preds);
+  m.valid_portfolio_returns = eval::PortfolioReturns(
+      dataset_, valid_dates, r.valid_preds, config_.portfolio);
+  m.sharpe_valid = eval::SharpeRatio(m.valid_portfolio_returns);
+
+  if (include_test) {
+    const auto& test_dates = dataset_.dates(market::Split::kTest);
+    m.ic_test =
+        eval::InformationCoefficient(dataset_, test_dates, r.test_preds);
+    m.test_portfolio_returns = eval::PortfolioReturns(
+        dataset_, test_dates, r.test_preds, config_.portfolio);
+    m.sharpe_test = eval::SharpeRatio(m.test_portfolio_returns);
+  }
+  return m;
+}
+
+uint64_t Evaluator::ProbeFingerprint(const AlphaProgram& program,
+                                     uint64_t seed, int probe_train,
+                                     int probe_valid) {
+  ExecutionResult r = probe_executor_.Run(program, seed,
+                                          /*include_test=*/false, probe_train,
+                                          probe_valid);
+  if (!r.valid) return 0;  // all invalid alphas share one bucket
+  std::string text;
+  text.reserve(1024);
+  char buf[32];
+  for (const auto& row : r.valid_preds) {
+    for (double p : row) {
+      // Round to 9 significant digits so bitwise-identical behaviour maps to
+      // the same fingerprint across evaluation orders.
+      std::snprintf(buf, sizeof(buf), "%.9g,", p);
+      text += buf;
+    }
+  }
+  return HashString(text);
+}
+
+}  // namespace alphaevolve::core

@@ -1,0 +1,69 @@
+#ifndef ALPHAEVOLVE_CORE_EVALUATOR_H_
+#define ALPHAEVOLVE_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/program.h"
+#include "eval/portfolio.h"
+#include "market/dataset.h"
+
+namespace alphaevolve::core {
+
+/// Fitness assigned to alphas that cannot be scored: non-finite predictions,
+/// redundant dataflow, or correlation-cutoff violations. Below any
+/// achievable IC (ICs live in [-1, 1] but evolved alphas score ≪ 1).
+inline constexpr double kInvalidFitness = -1.0;
+
+/// Everything the mining loop needs to know about one evaluated alpha.
+struct AlphaMetrics {
+  bool valid = false;
+  double ic_valid = kInvalidFitness;   ///< Fitness (paper Eq. 1, on S_v).
+  double ic_test = 0.0;
+  double sharpe_valid = 0.0;
+  double sharpe_test = 0.0;
+  std::vector<double> valid_portfolio_returns;  ///< For the 15% cutoff.
+  std::vector<double> test_portfolio_returns;
+};
+
+struct EvaluatorConfig {
+  ExecutorConfig executor;
+  eval::PortfolioConfig portfolio;
+};
+
+/// Scores alphas on a dataset: one-epoch training + validation IC as the
+/// evolutionary fitness, long-short portfolio returns and Sharpe for the
+/// weak-correlation cutoff and the paper's tables.
+///
+/// Not thread-safe (owns one Executor); use one per thread.
+class Evaluator {
+ public:
+  Evaluator(const market::Dataset& dataset, EvaluatorConfig config);
+
+  /// Full evaluation. `seed` drives any random-init ops deterministically
+  /// (evolution passes the program fingerprint). When `include_test` is
+  /// false the test-side fields are left zero/empty.
+  AlphaMetrics Evaluate(const AlphaProgram& program, uint64_t seed,
+                        bool include_test = true);
+
+  /// AutoML-Zero-style functional fingerprint (the paper's Table-6 `_N`
+  /// baseline): runs the program on a small probe slice (`probe_train`
+  /// training dates, `probe_valid` validation dates) and hashes the rounded
+  /// predictions. Costs a fraction of a full evaluation.
+  uint64_t ProbeFingerprint(const AlphaProgram& program, uint64_t seed,
+                            int probe_train = 10, int probe_valid = 4);
+
+  const market::Dataset& dataset() const { return dataset_; }
+  const EvaluatorConfig& config() const { return config_; }
+
+ private:
+  const market::Dataset& dataset_;
+  EvaluatorConfig config_;
+  Executor executor_;
+  Executor probe_executor_;
+};
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_EVALUATOR_H_

@@ -1,0 +1,176 @@
+#include "core/evolution.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/pruning.h"
+#include "eval/metrics.h"
+#include "util/check.h"
+
+namespace alphaevolve::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Evolution::Evolution(Evaluator& evaluator, EvolutionConfig config,
+                     std::vector<std::vector<double>> accepted_valid_returns)
+    : evaluator_(evaluator),
+      config_(config),
+      mutator_(config.mutator),
+      accepted_valid_returns_(std::move(accepted_valid_returns)) {
+  AE_CHECK(config_.population_size >= 2);
+  AE_CHECK(config_.tournament_size >= 1 &&
+           config_.tournament_size <= config_.population_size);
+}
+
+double Evolution::Score(const AlphaProgram& candidate) {
+  ++stats_.candidates;
+
+  uint64_t fingerprint = 0;
+  const AlphaProgram* to_evaluate = &candidate;
+  AlphaProgram pruned;
+
+  if (config_.use_pruning) {
+    // Structural fingerprint: prune first, no evaluation needed (§4.2).
+    PruneResult pr = PruneRedundant(candidate, config_.mutator.limits);
+    if (pr.redundant) {
+      ++stats_.pruned_redundant;
+      return kInvalidFitness;
+    }
+    pruned = std::move(pr.pruned);
+    to_evaluate = &pruned;
+    fingerprint = Fingerprint(pruned);
+    if (auto hit = cache_.Lookup(fingerprint)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+  } else {
+    // AutoML-Zero functional fingerprint: requires a probe evaluation.
+    const uint64_t seed = HashString(candidate.ToString());
+    fingerprint = evaluator_.ProbeFingerprint(candidate, seed);
+    if (auto hit = cache_.Lookup(fingerprint)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+  }
+
+  ++stats_.evaluated;
+  const uint64_t seed = config_.use_pruning
+                            ? fingerprint
+                            : HashString(candidate.ToString());
+  AlphaMetrics metrics =
+      evaluator_.Evaluate(*to_evaluate, seed, /*include_test=*/false);
+  double fitness = metrics.valid ? metrics.ic_valid : kInvalidFitness;
+
+  // Weak-correlation cutoff against the accepted set (§5.4.1).
+  if (metrics.valid && !accepted_valid_returns_.empty()) {
+    for (const auto& accepted : accepted_valid_returns_) {
+      const double corr = eval::PortfolioCorrelation(
+          metrics.valid_portfolio_returns, accepted);
+      if (std::abs(corr) > config_.correlation_cutoff) {
+        ++stats_.cutoff_discarded;
+        fitness = kInvalidFitness;
+        break;
+      }
+    }
+  }
+
+  cache_.Insert(fingerprint, fitness);
+  return fitness;
+}
+
+EvolutionResult Evolution::Run(const AlphaProgram& init) {
+  rng_ = Rng(config_.seed);
+  cache_.Clear();
+  stats_ = EvolutionStats{};
+  const auto start = Clock::now();
+
+  EvolutionResult result;
+  std::deque<Member> population;
+
+  auto out_of_budget = [&]() {
+    if (config_.max_candidates > 0 &&
+        stats_.candidates >= config_.max_candidates) {
+      return true;
+    }
+    return config_.time_budget_seconds > 0.0 &&
+           Seconds(start, Clock::now()) >= config_.time_budget_seconds;
+  };
+
+  double best_so_far = kInvalidFitness;
+  auto record_trajectory = [&](double fitness) {
+    best_so_far = std::max(best_so_far, fitness);
+    if (config_.trajectory_stride > 0 &&
+        stats_.candidates % config_.trajectory_stride == 0) {
+      result.trajectory.emplace_back(stats_.candidates, best_so_far);
+    }
+  };
+
+  // P0: mutations of the starting parent (§3 step 1).
+  for (int i = 0; i < config_.population_size && !out_of_budget(); ++i) {
+    AlphaProgram child = mutator_.Mutate(init, rng_);
+    const double fitness = Score(child);
+    record_trajectory(fitness);
+    population.push_back({std::move(child), fitness});
+  }
+
+  // Regularized evolution: tournament parent → mutate → age out the oldest.
+  while (!out_of_budget() && !population.empty()) {
+    int best_idx = rng_.UniformInt(static_cast<int>(population.size()));
+    for (int t = 1; t < config_.tournament_size; ++t) {
+      const int idx = rng_.UniformInt(static_cast<int>(population.size()));
+      if (population[static_cast<size_t>(idx)].fitness >
+          population[static_cast<size_t>(best_idx)].fitness) {
+        best_idx = idx;
+      }
+    }
+    AlphaProgram child =
+        mutator_.Mutate(population[static_cast<size_t>(best_idx)].program,
+                        rng_);
+    const double fitness = Score(child);
+    record_trajectory(fitness);
+    population.push_back({std::move(child), fitness});
+    population.pop_front();
+  }
+
+  stats_.elapsed_seconds = Seconds(start, Clock::now());
+  result.stats = stats_;
+
+  // Final selection: best alpha in the population (§3 step 5).
+  const Member* best = nullptr;
+  for (const Member& m : population) {
+    if (m.fitness > kInvalidFitness &&
+        (best == nullptr || m.fitness > best->fitness)) {
+      best = &m;
+    }
+  }
+  if (best != nullptr) {
+    result.has_alpha = true;
+    result.best = best->program;
+    result.best_fitness = best->fitness;
+    // Re-evaluate exactly what Score evaluated (the pruned form, with the
+    // fingerprint seed): pruned-away random ops would otherwise shift the
+    // RNG stream and change the result.
+    if (config_.use_pruning) {
+      const AlphaProgram pruned =
+          PruneRedundant(best->program, config_.mutator.limits).pruned;
+      result.best_metrics =
+          evaluator_.Evaluate(pruned, Fingerprint(pruned),
+                              /*include_test=*/true);
+    } else {
+      result.best_metrics =
+          evaluator_.Evaluate(best->program,
+                              HashString(best->program.ToString()),
+                              /*include_test=*/true);
+    }
+  }
+  return result;
+}
+
+}  // namespace alphaevolve::core

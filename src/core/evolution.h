@@ -1,0 +1,99 @@
+#ifndef ALPHAEVOLVE_CORE_EVOLUTION_H_
+#define ALPHAEVOLVE_CORE_EVOLUTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/fingerprint_cache.h"
+#include "core/mutator.h"
+#include "core/program.h"
+
+namespace alphaevolve::core {
+
+/// Regularized-evolution search options (paper §3, §5.2).
+struct EvolutionConfig {
+  int population_size = 100;
+  int tournament_size = 10;
+  MutatorConfig mutator;
+
+  /// Stop after this many candidate alphas (children generated, whether
+  /// pruned, cached, or evaluated). <= 0 means unbounded.
+  int64_t max_candidates = 2000;
+  /// Wall-clock budget in seconds (the paper's budget notion). <= 0 = none.
+  /// The search stops at whichever bound is hit first.
+  double time_budget_seconds = 0.0;
+
+  /// Pruning + structural fingerprint (paper §4.2). When false, falls back
+  /// to the AutoML-Zero functional fingerprint (probe-evaluation hash) —
+  /// the Table-6 `_N` ablation.
+  bool use_pruning = true;
+
+  /// Correlation cutoff against the accepted alpha set (15% in §5.4.1).
+  double correlation_cutoff = 0.15;
+
+  /// Record (candidates, best fitness) every this many candidates (Fig. 6).
+  int64_t trajectory_stride = 50;
+
+  uint64_t seed = 42;
+};
+
+/// Search counters. `candidates` = pruned_redundant + cache_hits + evaluated;
+/// Table 6's "number of searched alphas" is `candidates`.
+struct EvolutionStats {
+  int64_t candidates = 0;
+  int64_t evaluated = 0;
+  int64_t pruned_redundant = 0;
+  int64_t cache_hits = 0;
+  int64_t cutoff_discarded = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Search output.
+struct EvolutionResult {
+  bool has_alpha = false;        ///< False if every candidate was invalid.
+  AlphaProgram best;             ///< Best-fitness member of the final population.
+  double best_fitness = kInvalidFitness;
+  AlphaMetrics best_metrics;     ///< Full metrics (incl. test) of `best`.
+  EvolutionStats stats;
+  /// (candidates searched, best fitness so far) samples — Fig. 6 series.
+  std::vector<std::pair<int64_t, double>> trajectory;
+};
+
+/// Regularized evolution (tournament selection + aging), with the paper's
+/// redundancy pruning, evaluation-free fingerprint cache and
+/// weak-correlation cutoff.
+class Evolution {
+ public:
+  /// `accepted_valid_returns` holds the validation portfolio-return series
+  /// of the already-accepted alpha set A; candidates whose series correlates
+  /// above the cutoff with any of them are discarded (fitness = -1).
+  Evolution(Evaluator& evaluator, EvolutionConfig config,
+            std::vector<std::vector<double>> accepted_valid_returns = {});
+
+  /// Runs the search from the given starting parent.
+  EvolutionResult Run(const AlphaProgram& init);
+
+ private:
+  struct Member {
+    AlphaProgram program;
+    double fitness;
+  };
+
+  /// Scores one candidate through the prune/fingerprint/cutoff pipeline.
+  double Score(const AlphaProgram& candidate);
+
+  Evaluator& evaluator_;
+  EvolutionConfig config_;
+  Mutator mutator_;
+  std::vector<std::vector<double>> accepted_valid_returns_;
+  FingerprintCache cache_;
+  EvolutionStats stats_;
+  Rng rng_{0};
+};
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_EVOLUTION_H_

@@ -1,0 +1,741 @@
+#include "core/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace alphaevolve::core {
+namespace {
+
+/// Heaviside step: 1 for positive, 0 otherwise (paper's evolved alphas use
+/// heaviside(x, 1) with this convention).
+inline double Step(double x) { return x > 0.0 ? 1.0 : 0.0; }
+
+}  // namespace
+
+Executor::Executor(const market::Dataset& dataset, ExecutorConfig config)
+    : dataset_(dataset),
+      config_(config),
+      num_tasks_(dataset.num_tasks()),
+      n_(dataset.window()),
+      num_scalars_(config.limits.num_scalars),
+      num_vectors_(config.limits.num_vectors),
+      num_matrices_(config.limits.num_matrices) {
+  AE_CHECK(dataset.num_features() == dataset.window());
+  AE_CHECK(num_scalars_ > 1 && num_vectors_ > 0 && num_matrices_ > 0);
+  scalars_.resize(static_cast<size_t>(num_tasks_) * num_scalars_);
+  vectors_.resize(static_cast<size_t>(num_tasks_) * num_vectors_ * n_);
+  matrices_.resize(static_cast<size_t>(num_tasks_) * num_matrices_ * n_ * n_);
+  mat_scratch_.resize(static_cast<size_t>(n_) * n_);
+  history_.resize(static_cast<size_t>(num_tasks_) * kHistoryCap * num_scalars_);
+  rel_in_.resize(static_cast<size_t>(num_tasks_));
+  rel_out_.resize(static_cast<size_t>(num_tasks_));
+  rel_order_.resize(static_cast<size_t>(num_tasks_));
+  all_tasks_.resize(static_cast<size_t>(num_tasks_));
+  std::iota(all_tasks_.begin(), all_tasks_.end(), 0);
+}
+
+void Executor::ZeroMemory() {
+  std::fill(scalars_.begin(), scalars_.end(), 0.0);
+  std::fill(vectors_.begin(), vectors_.end(), 0.0);
+  std::fill(matrices_.begin(), matrices_.end(), 0.0);
+  std::fill(history_.begin(), history_.end(), 0.0);
+  hist_size_ = 0;
+  hist_head_ = 0;
+}
+
+void Executor::RefreshInputs(int date) {
+  for (int k = 0; k < num_tasks_; ++k) {
+    dataset_.FillInputMatrix(k, date, Mat(k, kInputMatrix));
+  }
+}
+
+void Executor::RecordHistory() {
+  for (int k = 0; k < num_tasks_; ++k) {
+    double* slot = history_.data() +
+                   (static_cast<size_t>(k) * kHistoryCap + hist_head_) *
+                       num_scalars_;
+    const double* s = Scalars(k);
+    std::copy(s, s + num_scalars_, slot);
+  }
+  hist_head_ = (hist_head_ + 1) % kHistoryCap;
+  hist_size_ = std::min(hist_size_ + 1, kHistoryCap);
+}
+
+bool Executor::PredictionsFinite() {
+  for (int k = 0; k < num_tasks_; ++k) {
+    if (!std::isfinite(Scalars(k)[kPredictionScalar])) return false;
+  }
+  return true;
+}
+
+void Executor::ExecRelation(const Instruction& ins) {
+  // Gather the input scalar from every task at this date.
+  for (int k = 0; k < num_tasks_; ++k) rel_in_[k] = Scalars(k)[ins.in1];
+
+  auto rank_group = [&](const std::vector<int>& members) {
+    const int g = static_cast<int>(members.size());
+    if (g == 1) {
+      rel_out_[members[0]] = 0.5;
+      return;
+    }
+    // Rank members by value (ties broken by task id; NaNs sort as equal).
+    for (int i = 0; i < g; ++i) rel_order_[i] = members[i];
+    std::stable_sort(rel_order_.begin(), rel_order_.begin() + g,
+                     [&](int a, int b) { return rel_in_[a] < rel_in_[b]; });
+    // Average-tie fractional ranks normalized to [0, 1].
+    int i = 0;
+    while (i < g) {
+      int j = i;
+      while (j + 1 < g &&
+             rel_in_[rel_order_[j + 1]] == rel_in_[rel_order_[i]]) {
+        ++j;
+      }
+      const double avg_rank = 0.5 * (i + j);  // 0-based average position
+      const double normalized = avg_rank / static_cast<double>(g - 1);
+      for (int q = i; q <= j; ++q) rel_out_[rel_order_[q]] = normalized;
+      i = j + 1;
+    }
+  };
+
+  auto demean_group = [&](const std::vector<int>& members) {
+    double sum = 0.0;
+    for (int t : members) sum += rel_in_[t];
+    const double mean = sum / static_cast<double>(members.size());
+    for (int t : members) rel_out_[t] = rel_in_[t] - mean;
+  };
+
+  switch (ins.op) {
+    case Op::kRank:
+      rank_group(all_tasks_);
+      break;
+    case Op::kRelationRank:
+    case Op::kRelationDemean: {
+      const bool by_sector = ins.idx0 == 0;
+      const int groups = by_sector ? dataset_.num_sector_groups()
+                                   : dataset_.num_industry_groups();
+      for (int gi = 0; gi < groups; ++gi) {
+        const auto& members =
+            by_sector ? dataset_.sector_tasks(gi) : dataset_.industry_tasks(gi);
+        if (ins.op == Op::kRelationRank) {
+          rank_group(members);
+        } else {
+          demean_group(members);
+        }
+      }
+      break;
+    }
+    default:
+      AE_CHECK(false);
+  }
+  for (int k = 0; k < num_tasks_; ++k) Scalars(k)[ins.out] = rel_out_[k];
+}
+
+void Executor::ExecInstruction(const Instruction& ins) {
+  const int n = n_;
+  const int nn = n * n;
+  const int K = num_tasks_;
+
+  switch (ins.op) {
+    case Op::kNoOp:
+      return;
+
+    // ---- scalar ----------------------------------------------------------
+    case Op::kScalarConst:
+      for (int k = 0; k < K; ++k) Scalars(k)[ins.out] = ins.imm0;
+      return;
+    case Op::kScalarAdd:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = s[ins.in1] + s[ins.in2];
+      }
+      return;
+    case Op::kScalarSub:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = s[ins.in1] - s[ins.in2];
+      }
+      return;
+    case Op::kScalarMul:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = s[ins.in1] * s[ins.in2];
+      }
+      return;
+    case Op::kScalarDiv:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = s[ins.in1] / s[ins.in2];
+      }
+      return;
+    case Op::kScalarAbs:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::abs(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarReciprocal:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = 1.0 / s[ins.in1];
+      }
+      return;
+    case Op::kScalarSin:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::sin(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarCos:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::cos(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarTan:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::tan(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarArcSin:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::asin(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarArcCos:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::acos(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarArcTan:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::atan(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarExp:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::exp(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarLog:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::log(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarHeaviside:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = Step(s[ins.in1]);
+      }
+      return;
+    case Op::kScalarMin:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::min(s[ins.in1], s[ins.in2]);
+      }
+      return;
+    case Op::kScalarMax:
+      for (int k = 0; k < K; ++k) {
+        double* s = Scalars(k);
+        s[ins.out] = std::max(s[ins.in1], s[ins.in2]);
+      }
+      return;
+
+    // ---- vector ----------------------------------------------------------
+    case Op::kVectorConst:
+      for (int k = 0; k < K; ++k) {
+        std::fill_n(Vec(k, ins.out), n, ins.imm0);
+      }
+      return;
+    case Op::kVectorScale:
+      for (int k = 0; k < K; ++k) {
+        const double c = Scalars(k)[ins.in2];
+        const double* a = Vec(k, ins.in1);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = c * a[i];
+      }
+      return;
+    case Op::kVectorBroadcast:
+      for (int k = 0; k < K; ++k) {
+        std::fill_n(Vec(k, ins.out), n, Scalars(k)[ins.in1]);
+      }
+      return;
+    case Op::kVectorReciprocal:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = 1.0 / a[i];
+      }
+      return;
+    case Op::kVectorAbs:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = std::abs(a[i]);
+      }
+      return;
+    case Op::kVectorAdd:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = a[i] + b[i];
+      }
+      return;
+    case Op::kVectorSub:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = a[i] - b[i];
+      }
+      return;
+    case Op::kVectorMul:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = a[i] * b[i];
+      }
+      return;
+    case Op::kVectorDiv:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = a[i] / b[i];
+      }
+      return;
+    case Op::kVectorMin:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = std::min(a[i], b[i]);
+      }
+      return;
+    case Op::kVectorMax:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = std::max(a[i], b[i]);
+      }
+      return;
+    case Op::kVectorHeaviside:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = Step(a[i]);
+      }
+      return;
+    case Op::kVectorDot:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double acc = 0.0;
+        for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+        Scalars(k)[ins.out] = acc;
+      }
+      return;
+    case Op::kVectorOuter:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < n; ++j) o[i * n + j] = a[i] * b[j];
+        }
+      }
+      return;
+    case Op::kVectorNorm:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        double acc = 0.0;
+        for (int i = 0; i < n; ++i) acc += a[i] * a[i];
+        Scalars(k)[ins.out] = std::sqrt(acc);
+      }
+      return;
+    case Op::kVectorMean:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        double acc = 0.0;
+        for (int i = 0; i < n; ++i) acc += a[i];
+        Scalars(k)[ins.out] = acc / n;
+      }
+      return;
+    case Op::kVectorStd:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        double mean = 0.0;
+        for (int i = 0; i < n; ++i) mean += a[i];
+        mean /= n;
+        double ss = 0.0;
+        for (int i = 0; i < n; ++i) ss += (a[i] - mean) * (a[i] - mean);
+        Scalars(k)[ins.out] = std::sqrt(ss / n);
+      }
+      return;
+    case Op::kVectorUniform:
+      for (int k = 0; k < K; ++k) {
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = rng_.Uniform(ins.imm0, ins.imm1);
+      }
+      return;
+    case Op::kVectorGaussian:
+      for (int k = 0; k < K; ++k) {
+        double* o = Vec(k, ins.out);
+        for (int i = 0; i < n; ++i) o[i] = rng_.Gaussian(ins.imm0, ins.imm1);
+      }
+      return;
+
+    // ---- matrix ----------------------------------------------------------
+    case Op::kMatrixConst:
+      for (int k = 0; k < K; ++k) std::fill_n(Mat(k, ins.out), nn, ins.imm0);
+      return;
+    case Op::kMatrixScale:
+      for (int k = 0; k < K; ++k) {
+        const double c = Scalars(k)[ins.in2];
+        const double* a = Mat(k, ins.in1);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = c * a[i];
+      }
+      return;
+    case Op::kMatrixReciprocal:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = 1.0 / a[i];
+      }
+      return;
+    case Op::kMatrixAbs:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = std::abs(a[i]);
+      }
+      return;
+    case Op::kMatrixAdd:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Mat(k, ins.in2);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = a[i] + b[i];
+      }
+      return;
+    case Op::kMatrixSub:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Mat(k, ins.in2);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = a[i] - b[i];
+      }
+      return;
+    case Op::kMatrixMul:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Mat(k, ins.in2);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = a[i] * b[i];
+      }
+      return;
+    case Op::kMatrixDiv:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Mat(k, ins.in2);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = a[i] / b[i];
+      }
+      return;
+    case Op::kMatrixMin:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Mat(k, ins.in2);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = std::min(a[i], b[i]);
+      }
+      return;
+    case Op::kMatrixMax:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Mat(k, ins.in2);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = std::max(a[i], b[i]);
+      }
+      return;
+    case Op::kMatrixHeaviside:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = Step(a[i]);
+      }
+      return;
+    case Op::kMatrixMatMul:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Mat(k, ins.in2);
+        double* scratch = mat_scratch_.data();
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int q = 0; q < n; ++q) acc += a[i * n + q] * b[q * n + j];
+            scratch[i * n + j] = acc;
+          }
+        }
+        std::copy(scratch, scratch + nn, Mat(k, ins.out));
+      }
+      return;
+    case Op::kMatrixVectorProduct:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        const double* b = Vec(k, ins.in2);
+        double* scratch = mat_scratch_.data();  // first n entries
+        for (int i = 0; i < n; ++i) {
+          double acc = 0.0;
+          for (int j = 0; j < n; ++j) acc += a[i * n + j] * b[j];
+          scratch[i] = acc;
+        }
+        std::copy(scratch, scratch + n, Vec(k, ins.out));
+      }
+      return;
+    case Op::kMatrixTranspose:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double* scratch = mat_scratch_.data();
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < n; ++j) scratch[j * n + i] = a[i * n + j];
+        }
+        std::copy(scratch, scratch + nn, Mat(k, ins.out));
+      }
+      return;
+    case Op::kMatrixNorm:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double acc = 0.0;
+        for (int i = 0; i < nn; ++i) acc += a[i] * a[i];
+        Scalars(k)[ins.out] = std::sqrt(acc);
+      }
+      return;
+    case Op::kMatrixNormAxis:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double* o = Vec(k, ins.out);
+        if (ins.idx0 == 0) {  // norm down each column
+          for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int i = 0; i < n; ++i) acc += a[i * n + j] * a[i * n + j];
+            o[j] = std::sqrt(acc);
+          }
+        } else {  // norm along each row
+          for (int i = 0; i < n; ++i) {
+            double acc = 0.0;
+            for (int j = 0; j < n; ++j) acc += a[i * n + j] * a[i * n + j];
+            o[i] = std::sqrt(acc);
+          }
+        }
+      }
+      return;
+    case Op::kMatrixMean:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double acc = 0.0;
+        for (int i = 0; i < nn; ++i) acc += a[i];
+        Scalars(k)[ins.out] = acc / nn;
+      }
+      return;
+    case Op::kMatrixStd:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double mean = 0.0;
+        for (int i = 0; i < nn; ++i) mean += a[i];
+        mean /= nn;
+        double ss = 0.0;
+        for (int i = 0; i < nn; ++i) ss += (a[i] - mean) * (a[i] - mean);
+        Scalars(k)[ins.out] = std::sqrt(ss / nn);
+      }
+      return;
+    case Op::kMatrixMeanAxis:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Mat(k, ins.in1);
+        double* o = Vec(k, ins.out);
+        if (ins.idx0 == 0) {  // mean down each column
+          for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int i = 0; i < n; ++i) acc += a[i * n + j];
+            o[j] = acc / n;
+          }
+        } else {
+          for (int i = 0; i < n; ++i) {
+            double acc = 0.0;
+            for (int j = 0; j < n; ++j) acc += a[i * n + j];
+            o[i] = acc / n;
+          }
+        }
+      }
+      return;
+    case Op::kMatrixBroadcast:
+      for (int k = 0; k < K; ++k) {
+        const double* a = Vec(k, ins.in1);
+        double* o = Mat(k, ins.out);
+        if (ins.idx0 == 0) {  // each row is a copy of v
+          for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) o[i * n + j] = a[j];
+          }
+        } else {  // each column is a copy of v
+          for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) o[i * n + j] = a[i];
+          }
+        }
+      }
+      return;
+    case Op::kMatrixUniform:
+      for (int k = 0; k < K; ++k) {
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = rng_.Uniform(ins.imm0, ins.imm1);
+      }
+      return;
+    case Op::kMatrixGaussian:
+      for (int k = 0; k < K; ++k) {
+        double* o = Mat(k, ins.out);
+        for (int i = 0; i < nn; ++i) o[i] = rng_.Gaussian(ins.imm0, ins.imm1);
+      }
+      return;
+
+    // ---- extraction --------------------------------------------------------
+    case Op::kGetScalar:
+      for (int k = 0; k < K; ++k) {
+        const double* m0 = Mat(k, kInputMatrix);
+        Scalars(k)[ins.out] = m0[(ins.idx0 % n) * n + (ins.idx1 % n)];
+      }
+      return;
+    case Op::kGetRow:
+      for (int k = 0; k < K; ++k) {
+        const double* m0 = Mat(k, kInputMatrix);
+        std::copy_n(m0 + (ins.idx0 % n) * n, n, Vec(k, ins.out));
+      }
+      return;
+    case Op::kGetColumn:
+      for (int k = 0; k < K; ++k) {
+        const double* m0 = Mat(k, kInputMatrix);
+        double* o = Vec(k, ins.out);
+        const int col = ins.idx0 % n;
+        for (int i = 0; i < n; ++i) o[i] = m0[i * n + col];
+      }
+      return;
+
+    // ---- time series -------------------------------------------------------
+    case Op::kTsRank: {
+      const int w = std::max<int>(2, std::min<int>(ins.idx0, kHistoryCap));
+      for (int k = 0; k < K; ++k) {
+        const double cur = Scalars(k)[ins.in1];
+        const int avail = std::min(hist_size_, w);
+        if (avail == 0) {
+          Scalars(k)[ins.out] = 0.5;
+          continue;
+        }
+        int less = 0, equal = 0;
+        for (int d = 1; d <= avail; ++d) {
+          const int slot = (hist_head_ - d + kHistoryCap) % kHistoryCap;
+          const double past =
+              history_[(static_cast<size_t>(k) * kHistoryCap + slot) *
+                           num_scalars_ +
+                       ins.in1];
+          if (past < cur) ++less;
+          else if (past == cur) ++equal;
+        }
+        // Fractional rank of `cur` among {past window ∪ cur}, in [0, 1].
+        Scalars(k)[ins.out] =
+            (less + 0.5 * equal) / static_cast<double>(avail);
+      }
+      return;
+    }
+
+    // ---- relation ------------------------------------------------------------
+    case Op::kRank:
+    case Op::kRelationRank:
+    case Op::kRelationDemean:
+      ExecRelation(ins);
+      return;
+
+    case Op::kNumOps:
+      break;
+  }
+  AE_CHECK_MSG(false, "unhandled op");
+}
+
+void Executor::ExecComponent(const std::vector<Instruction>& instrs) {
+  for (const Instruction& ins : instrs) ExecInstruction(ins);
+}
+
+ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
+                              bool include_test, int limit_train,
+                              int limit_valid) {
+  rng_ = Rng(seed);
+  ZeroMemory();
+  ExecComponent(program.setup);
+
+  ExecutionResult result;
+  const auto& train_dates = dataset_.dates(market::Split::kTrain);
+  const int num_train =
+      limit_train < 0
+          ? static_cast<int>(train_dates.size())
+          : std::min<int>(limit_train, static_cast<int>(train_dates.size()));
+  for (int epoch = 0; epoch < config_.train_epochs; ++epoch) {
+    for (int di = 0; di < num_train; ++di) {
+      const int date = train_dates[static_cast<size_t>(di)];
+      RefreshInputs(date);
+      ExecComponent(program.predict);
+      if (!PredictionsFinite()) {
+        result.valid = false;
+        return result;
+      }
+      for (int k = 0; k < num_tasks_; ++k) {
+        Scalars(k)[kLabelScalar] = dataset_.Label(k, date);
+      }
+      ExecComponent(program.update);
+      RecordHistory();
+    }
+  }
+
+  auto infer = [&](market::Split split, int limit,
+                   std::vector<std::vector<double>>& out) -> bool {
+    const auto& dates = dataset_.dates(split);
+    const int num =
+        limit < 0 ? static_cast<int>(dates.size())
+                  : std::min<int>(limit, static_cast<int>(dates.size()));
+    out.reserve(static_cast<size_t>(num));
+    for (int di = 0; di < num; ++di) {
+      const int date = dates[static_cast<size_t>(di)];
+      RefreshInputs(date);
+      ExecComponent(program.predict);
+      if (!PredictionsFinite()) return false;
+      std::vector<double> row(static_cast<size_t>(num_tasks_));
+      for (int k = 0; k < num_tasks_; ++k) {
+        row[static_cast<size_t>(k)] = Scalars(k)[kPredictionScalar];
+      }
+      out.push_back(std::move(row));
+      RecordHistory();
+    }
+    return true;
+  };
+
+  if (!infer(market::Split::kValid, limit_valid, result.valid_preds)) {
+    result.valid = false;
+    return result;
+  }
+  if (include_test &&
+      !infer(market::Split::kTest, -1, result.test_preds)) {
+    result.valid = false;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace alphaevolve::core

@@ -1,0 +1,110 @@
+#ifndef ALPHAEVOLVE_CORE_EXECUTOR_H_
+#define ALPHAEVOLVE_CORE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.h"
+#include "market/dataset.h"
+#include "util/rng.h"
+
+namespace alphaevolve::core {
+
+/// Trailing-history capacity per scalar address (for ts_rank).
+inline constexpr int kHistoryCap = 16;
+
+/// Executor options.
+struct ExecutorConfig {
+  ProgramLimits limits;
+  int train_epochs = 1;  ///< Paper §5.2: one epoch for fast evaluation.
+};
+
+/// Output of one full run: predictions per evaluation date per task.
+struct ExecutionResult {
+  bool valid = true;  ///< false → a prediction went non-finite; discard alpha.
+  std::vector<std::vector<double>> valid_preds;  ///< [valid-date idx][task]
+  std::vector<std::vector<double>> test_preds;   ///< [test-date idx][task]
+};
+
+/// Executes an alpha over all tasks of a dataset in *lockstep*: instructions
+/// run one at a time across every task so that a RelationOp can read its
+/// input operand from all related tasks at the same date (paper Fig. 4).
+///
+/// Run phases:
+///  1. zero memory; Setup once per task;
+///  2. for each training date (x epochs): refresh m0, Predict, s0 ← label,
+///     Update, record scalar history;
+///  3. for each validation (then test) date: refresh m0, Predict, record s1.
+///
+/// Memory persists across dates — operands written by Update that survive to
+/// phase 3 are the paper's "parameters"; intermediate operands give the
+/// t-k lags in the evolved-alpha equations (§5.4.2).
+///
+/// Not thread-safe: one Executor per thread (scratch state is reused across
+/// Run calls to avoid per-candidate allocation).
+class Executor {
+ public:
+  Executor(const market::Dataset& dataset, ExecutorConfig config);
+
+  /// Runs the program. `seed` drives the random-init ops; the evaluator
+  /// seeds it from the program fingerprint so results are reproducible and
+  /// cache-consistent. If `include_test` is false, test_preds stays empty
+  /// (saves ~10% during evolution; final metrics re-run with true).
+  /// `limit_train`/`limit_valid` truncate the date loops (-1 = all dates);
+  /// the probe fingerprint uses small limits for a cheap functional hash.
+  ExecutionResult Run(const AlphaProgram& program, uint64_t seed,
+                      bool include_test = true, int limit_train = -1,
+                      int limit_valid = -1);
+
+  int num_tasks() const { return num_tasks_; }
+  int n() const { return n_; }
+
+ private:
+  double* Scalars(int task) { return scalars_.data() + task * num_scalars_; }
+  double* Vec(int task, int i) {
+    return vectors_.data() + (static_cast<size_t>(task) * num_vectors_ + i) * n_;
+  }
+  double* Mat(int task, int i) {
+    return matrices_.data() +
+           (static_cast<size_t>(task) * num_matrices_ + i) * n_ * n_;
+  }
+
+  void ZeroMemory();
+  void RefreshInputs(int date);
+  void RecordHistory();
+  /// Executes one instruction across all tasks.
+  void ExecInstruction(const Instruction& ins);
+  void ExecRelation(const Instruction& ins);
+  void ExecComponent(const std::vector<Instruction>& instrs);
+  /// True iff every task's s1 is finite.
+  bool PredictionsFinite();
+
+  const market::Dataset& dataset_;
+  ExecutorConfig config_;
+  int num_tasks_;
+  int n_;  // feature/window dimension (f == w)
+  int num_scalars_, num_vectors_, num_matrices_;
+
+  Rng rng_{0};
+
+  // Structure-of-arrays scratch, task-major.
+  std::vector<double> scalars_;
+  std::vector<double> vectors_;
+  std::vector<double> matrices_;
+  std::vector<double> mat_scratch_;  // n*n temp for matmul/transpose
+
+  // ts_rank history ring: [task][slot][scalar addr].
+  std::vector<double> history_;
+  int hist_size_ = 0;
+  int hist_head_ = 0;
+
+  // Relation-op scratch.
+  std::vector<double> rel_in_;
+  std::vector<double> rel_out_;
+  std::vector<int> rel_order_;
+  std::vector<int> all_tasks_;
+};
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_EXECUTOR_H_

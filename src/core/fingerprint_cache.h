@@ -1,0 +1,37 @@
+#ifndef ALPHAEVOLVE_CORE_FINGERPRINT_CACHE_H_
+#define ALPHAEVOLVE_CORE_FINGERPRINT_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace alphaevolve::core {
+
+/// Fingerprint → fitness memo (paper §4.2). With pruning enabled the key is
+/// the structural fingerprint of the *pruned* program, computed without any
+/// evaluation; in the `_N` ablation it is the functional (prediction-hash)
+/// fingerprint, which requires a probe evaluation first.
+class FingerprintCache {
+ public:
+  /// Returns the cached fitness for `fingerprint`, if present.
+  std::optional<double> Lookup(uint64_t fingerprint) const {
+    const auto it = map_.find(fingerprint);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Records the fitness for `fingerprint` (overwrites).
+  void Insert(uint64_t fingerprint, double fitness) {
+    map_[fingerprint] = fitness;
+  }
+
+  size_t size() const { return map_.size(); }
+  void Clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, double> map_;
+};
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_FINGERPRINT_CACHE_H_

@@ -1,0 +1,49 @@
+#ifndef ALPHAEVOLVE_CORE_GENERATORS_H_
+#define ALPHAEVOLVE_CORE_GENERATORS_H_
+
+#include "core/mutator.h"
+#include "core/program.h"
+#include "util/rng.h"
+
+namespace alphaevolve::core {
+
+/// The paper's four starting parents (§5.2, Table 3).
+enum class InitKind {
+  kExpert,   ///< alpha_AE_D: a domain-expert-designed formulaic alpha.
+  kNoOp,     ///< alpha_AE_NOOP: no initialization (minimal no-op program).
+  kRandom,   ///< alpha_AE_R: a randomly designed alpha.
+  kNeuralNet ///< alpha_AE_NN: a two-layer neural network written as ops.
+};
+
+const char* InitKindName(InitKind kind);
+
+/// Minimal program: one no-op per component.
+AlphaProgram MakeNoOpAlpha();
+
+/// Domain-expert formulaic alpha in AlphaEvolve instruction form:
+///
+///   s1 = (open − close) / ((high − low) + 0.001)
+///
+/// an intraday-reversal alpha in the style of Kakushadze's "101 Formulaic
+/// Alphas" #101 (sign flipped: fade the day's move). The paper's Figure-2
+/// expert alpha is only available as an image; any well-designed formulaic
+/// alpha fills the same role — see DESIGN.md. All inputs come from the most
+/// recent day column of X via ExtractionOps.
+AlphaProgram MakeExpertAlpha(int input_dim);
+
+/// Two-layer neural network with ReLU hidden layer and SGD parameter
+/// updates, written as AlphaEvolve instructions (AutoML-Zero style):
+///   Setup:   W1 ~ N(0, 0.1), w2 ~ N(0, 0.1), lr = 0.01
+///   Predict: h = relu(W1 · x), s1 = w2 · h     (x = today's feature column)
+///   Update:  δ = lr (y − s1); w2 += δ h; W1 += (δ w2 ⊙ relu') ⊗ x
+AlphaProgram MakeNeuralNetAlpha(int input_dim);
+
+/// Random program (alpha_AE_R) drawn by the mutator's instruction sampler.
+AlphaProgram MakeRandomAlpha(const Mutator& mutator, Rng& rng);
+
+/// Dispatch by kind.
+AlphaProgram MakeInitialAlpha(InitKind kind, const Mutator& mutator, Rng& rng);
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_GENERATORS_H_

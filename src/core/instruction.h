@@ -1,0 +1,45 @@
+#ifndef ALPHAEVOLVE_CORE_INSTRUCTION_H_
+#define ALPHAEVOLVE_CORE_INSTRUCTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/opcode.h"
+
+namespace alphaevolve::core {
+
+/// Reserved operand addresses (paper §2).
+inline constexpr int kLabelScalar = 0;       ///< s0: label (set before Update).
+inline constexpr int kPredictionScalar = 1;  ///< s1: the alpha's prediction.
+inline constexpr int kInputMatrix = 0;       ///< m0: input feature matrix X.
+
+/// One operation: an OP, input operand(s), an output operand, and immediate
+/// data whose meaning depends on the OP's ImmKind (constants, extraction
+/// indices, axis, group kind, or window).
+struct Instruction {
+  Op op = Op::kNoOp;
+  uint8_t out = 0;
+  uint8_t in1 = 0;
+  uint8_t in2 = 0;
+  uint8_t idx0 = 0;
+  uint8_t idx1 = 0;
+  double imm0 = 0.0;
+  double imm1 = 0.0;
+
+  bool operator==(const Instruction&) const = default;
+
+  /// Human-readable one-line form, e.g. "s1 = s_div(s5, s9)" or
+  /// "s3 = get_scalar(m0[11,12])". Stable: also used as the canonical
+  /// fingerprint text.
+  std::string ToString() const;
+
+  /// Parses the `ToString` format. Throws CheckError on malformed input.
+  static Instruction FromString(const std::string& text);
+};
+
+/// Address-space prefix for an operand type: "s", "v" or "m".
+const char* OperandPrefix(OperandType type);
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_INSTRUCTION_H_

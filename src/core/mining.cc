@@ -1,0 +1,49 @@
+#include "core/mining.h"
+
+#include <cmath>
+#include <limits>
+
+#include "eval/metrics.h"
+
+namespace alphaevolve::core {
+
+WeaklyCorrelatedMiner::WeaklyCorrelatedMiner(Evaluator& evaluator,
+                                             EvolutionConfig base_config)
+    : evaluator_(evaluator), base_config_(base_config) {}
+
+EvolutionResult WeaklyCorrelatedMiner::RunSearch(const AlphaProgram& init,
+                                                 uint64_t seed) {
+  EvolutionConfig config = base_config_;
+  config.seed = seed;
+  std::vector<std::vector<double>> accepted_returns;
+  accepted_returns.reserve(accepted_.size());
+  for (const AcceptedAlpha& a : accepted_) {
+    accepted_returns.push_back(a.metrics.valid_portfolio_returns);
+  }
+  Evolution evolution(evaluator_, config, std::move(accepted_returns));
+  return evolution.Run(init);
+}
+
+void WeaklyCorrelatedMiner::Accept(std::string name,
+                                   const AlphaProgram& program,
+                                   const AlphaMetrics& metrics) {
+  accepted_.push_back({std::move(name), program, metrics});
+}
+
+double WeaklyCorrelatedMiner::CorrelationWithAccepted(
+    const AlphaMetrics& metrics) const {
+  if (accepted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double best = 0.0;
+  double best_abs = -1.0;
+  for (const AcceptedAlpha& a : accepted_) {
+    const double corr = eval::PortfolioCorrelation(
+        metrics.valid_portfolio_returns, a.metrics.valid_portfolio_returns);
+    if (std::abs(corr) > best_abs) {
+      best_abs = std::abs(corr);
+      best = corr;
+    }
+  }
+  return best;
+}
+
+}  // namespace alphaevolve::core

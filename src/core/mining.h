@@ -1,0 +1,54 @@
+#ifndef ALPHAEVOLVE_CORE_MINING_H_
+#define ALPHAEVOLVE_CORE_MINING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evolution.h"
+
+namespace alphaevolve::core {
+
+/// One accepted member of the weakly correlated alpha set A.
+struct AcceptedAlpha {
+  std::string name;
+  AlphaProgram program;
+  AlphaMetrics metrics;
+};
+
+/// Multi-round weakly-correlated alpha mining (paper §5.4.1): each round
+/// runs searches with the 15% correlation cutoff against everything already
+/// in A; the best result (by validation Sharpe ratio, as the paper selects
+/// "the best alpha with the highest Sharpe ratio") is accepted into A, which
+/// raises the difficulty of subsequent rounds.
+class WeaklyCorrelatedMiner {
+ public:
+  /// `base_config`'s cutoff and budgets apply to every search; per-search
+  /// seeds are derived from it.
+  WeaklyCorrelatedMiner(Evaluator& evaluator, EvolutionConfig base_config);
+
+  /// Runs one evolutionary search initialized from `init`, with the current
+  /// accepted set as the correlation cutoff reference.
+  EvolutionResult RunSearch(const AlphaProgram& init, uint64_t seed);
+
+  /// Admits an alpha into A.
+  void Accept(std::string name, const AlphaProgram& program,
+              const AlphaMetrics& metrics);
+
+  /// Signed correlation (on validation portfolio returns) with the
+  /// most-correlated member of A; NaN if A is empty — the per-alpha
+  /// "Correlation with the best alphas" column of Tables 2/3.
+  double CorrelationWithAccepted(const AlphaMetrics& metrics) const;
+
+  const std::vector<AcceptedAlpha>& accepted() const { return accepted_; }
+  Evaluator& evaluator() { return evaluator_; }
+  const EvolutionConfig& base_config() const { return base_config_; }
+
+ private:
+  Evaluator& evaluator_;
+  EvolutionConfig base_config_;
+  std::vector<AcceptedAlpha> accepted_;
+};
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_MINING_H_

@@ -1,0 +1,204 @@
+#include "core/mutator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace alphaevolve::core {
+
+Mutator::Mutator(MutatorConfig config) : config_(config) {
+  AE_CHECK(config_.input_dim >= 2);
+  AE_CHECK(config_.mutate_prob >= 0.0 && config_.mutate_prob <= 1.0);
+}
+
+double Mutator::RandomConst(Rng& rng) const { return rng.Uniform(-1.0, 1.0); }
+
+Instruction Mutator::RandomInstruction(ComponentId c, Rng& rng) const {
+  const auto& ops = OpsAllowedIn(c, config_.allow_relation_ops);
+  Instruction ins;
+  ins.op = ops[static_cast<size_t>(rng.UniformInt(
+      static_cast<int>(ops.size())))];
+  const OpInfo& info = GetOpInfo(ins.op);
+  if (info.out != OperandType::kNone) {
+    ins.out = static_cast<uint8_t>(
+        rng.UniformInt(config_.limits.NumAddresses(info.out)));
+  }
+  if (info.in1 != OperandType::kNone) {
+    ins.in1 = static_cast<uint8_t>(
+        rng.UniformInt(config_.limits.NumAddresses(info.in1)));
+  }
+  if (info.in2 != OperandType::kNone) {
+    ins.in2 = static_cast<uint8_t>(
+        rng.UniformInt(config_.limits.NumAddresses(info.in2)));
+  }
+  switch (info.imm) {
+    case ImmKind::kConst:
+      ins.imm0 = RandomConst(rng);
+      break;
+    case ImmKind::kConst2:
+      ins.imm0 = RandomConst(rng);
+      ins.imm1 = rng.Uniform(0.0, 1.0);  // width / stddev scale
+      break;
+    case ImmKind::kIndex2:
+      ins.idx0 = static_cast<uint8_t>(rng.UniformInt(config_.input_dim));
+      ins.idx1 = static_cast<uint8_t>(rng.UniformInt(config_.input_dim));
+      break;
+    case ImmKind::kIndex:
+      ins.idx0 = static_cast<uint8_t>(rng.UniformInt(config_.input_dim));
+      break;
+    case ImmKind::kAxis:
+    case ImmKind::kGroup:
+      ins.idx0 = static_cast<uint8_t>(rng.UniformInt(2));
+      break;
+    case ImmKind::kWindow:
+      ins.idx0 = static_cast<uint8_t>(rng.UniformInt(2, config_.input_dim));
+      break;
+    case ImmKind::kNone:
+      break;
+  }
+  return ins;
+}
+
+void Mutator::RandomizeOneField(Instruction& ins, ComponentId c,
+                                Rng& rng) const {
+  const OpInfo& info = GetOpInfo(ins.op);
+  // Candidate fields: 0=whole new op, 1=out, 2=in1, 3=in2, 4=immediates.
+  std::vector<int> fields = {0};
+  if (info.out != OperandType::kNone) fields.push_back(1);
+  if (info.in1 != OperandType::kNone) fields.push_back(2);
+  if (info.in2 != OperandType::kNone) fields.push_back(3);
+  if (info.imm != ImmKind::kNone) fields.push_back(4);
+  const int field = fields[static_cast<size_t>(
+      rng.UniformInt(static_cast<int>(fields.size())))];
+  switch (field) {
+    case 0:
+      ins = RandomInstruction(c, rng);
+      break;
+    case 1:
+      ins.out = static_cast<uint8_t>(
+          rng.UniformInt(config_.limits.NumAddresses(info.out)));
+      break;
+    case 2:
+      ins.in1 = static_cast<uint8_t>(
+          rng.UniformInt(config_.limits.NumAddresses(info.in1)));
+      break;
+    case 3:
+      ins.in2 = static_cast<uint8_t>(
+          rng.UniformInt(config_.limits.NumAddresses(info.in2)));
+      break;
+    case 4: {
+      // Re-draw just the immediates, keeping op and operands.
+      Instruction fresh = ins;
+      switch (info.imm) {
+        case ImmKind::kConst:
+          fresh.imm0 = RandomConst(rng);
+          break;
+        case ImmKind::kConst2:
+          fresh.imm0 = RandomConst(rng);
+          fresh.imm1 = rng.Uniform(0.0, 1.0);
+          break;
+        case ImmKind::kIndex2:
+          fresh.idx0 = static_cast<uint8_t>(rng.UniformInt(config_.input_dim));
+          fresh.idx1 = static_cast<uint8_t>(rng.UniformInt(config_.input_dim));
+          break;
+        case ImmKind::kIndex:
+          fresh.idx0 = static_cast<uint8_t>(rng.UniformInt(config_.input_dim));
+          break;
+        case ImmKind::kAxis:
+        case ImmKind::kGroup:
+          fresh.idx0 = static_cast<uint8_t>(rng.UniformInt(2));
+          break;
+        case ImmKind::kWindow:
+          fresh.idx0 =
+              static_cast<uint8_t>(rng.UniformInt(2, config_.input_dim));
+          break;
+        case ImmKind::kNone:
+          break;
+      }
+      ins = fresh;
+      break;
+    }
+    default:
+      AE_CHECK(false);
+  }
+}
+
+void Mutator::InsertOrRemove(AlphaProgram& prog, Rng& rng) const {
+  const auto c = static_cast<ComponentId>(rng.UniformInt(kNumComponents));
+  auto& instrs = prog.mutable_component(c);
+  const int ci = static_cast<int>(c);
+  const int n = static_cast<int>(instrs.size());
+  const bool can_insert = n < config_.limits.max_instructions[ci];
+  const bool can_remove = n > config_.limits.min_instructions[ci];
+  bool insert;
+  if (can_insert && can_remove) {
+    insert = rng.Bernoulli(0.5);
+  } else if (can_insert) {
+    insert = true;
+  } else if (can_remove) {
+    insert = false;
+  } else {
+    return;  // component pinned at min == max
+  }
+  if (insert) {
+    const int pos = rng.UniformInt(n + 1);
+    instrs.insert(instrs.begin() + pos, RandomInstruction(c, rng));
+  } else {
+    const int pos = rng.UniformInt(n);
+    instrs.erase(instrs.begin() + pos);
+  }
+}
+
+AlphaProgram Mutator::Mutate(const AlphaProgram& parent, Rng& rng) const {
+  AlphaProgram child = parent;
+  if (!rng.Bernoulli(config_.mutate_prob)) return child;  // identity
+
+  do {
+    const int action = rng.WeightedChoice(
+        {config_.w_randomize_one, config_.w_insert_remove,
+         config_.w_randomize_component});
+    switch (action) {
+      case 0: {  // randomize one operand/OP of one random instruction
+        const auto c =
+            static_cast<ComponentId>(rng.UniformInt(kNumComponents));
+        auto& instrs = child.mutable_component(c);
+        if (instrs.empty()) break;
+        const int pos = rng.UniformInt(static_cast<int>(instrs.size()));
+        RandomizeOneField(instrs[static_cast<size_t>(pos)], c, rng);
+        break;
+      }
+      case 1:
+        InsertOrRemove(child, rng);
+        break;
+      case 2: {  // randomize every instruction of one component
+        const auto c =
+            static_cast<ComponentId>(rng.UniformInt(kNumComponents));
+        auto& instrs = child.mutable_component(c);
+        for (auto& ins : instrs) ins = RandomInstruction(c, rng);
+        break;
+      }
+      default:
+        AE_CHECK(false);
+    }
+  } while (rng.Bernoulli(config_.extra_action_prob));
+  return child;
+}
+
+AlphaProgram Mutator::RandomProgram(Rng& rng, int size_cap) const {
+  AlphaProgram prog;
+  for (int ci = 0; ci < kNumComponents; ++ci) {
+    const auto c = static_cast<ComponentId>(ci);
+    const int lo = config_.limits.min_instructions[ci];
+    const int hi = std::min(config_.limits.max_instructions[ci],
+                            std::max(lo, size_cap));
+    const int size = rng.UniformInt(lo, hi);
+    auto& instrs = prog.mutable_component(c);
+    instrs.reserve(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      instrs.push_back(RandomInstruction(c, rng));
+    }
+  }
+  return prog;
+}
+
+}  // namespace alphaevolve::core

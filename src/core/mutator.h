@@ -1,0 +1,63 @@
+#ifndef ALPHAEVOLVE_CORE_MUTATOR_H_
+#define ALPHAEVOLVE_CORE_MUTATOR_H_
+
+#include "core/program.h"
+#include "util/rng.h"
+
+namespace alphaevolve::core {
+
+/// Mutation policy. The paper (§3) uses two mutation classes:
+///  (1) randomizing operands or OP(s) of operations, and
+///  (2) inserting a random operation / removing an operation at a random
+///      location.
+/// "The mutation probability of each operation is set to 0.9" (§5.2) is
+/// interpreted as the probability that a child is mutated at all (otherwise
+/// it is an exact copy of the parent, as in AutoML-Zero's identity action);
+/// within a mutation, the action is drawn from the three weights below
+/// (randomize-one-operand-or-op / insert-remove / randomize a whole
+/// component, the last matching AutoML-Zero's randomize-all).
+struct MutatorConfig {
+  double mutate_prob = 0.9;
+  double w_randomize_one = 0.4;
+  double w_insert_remove = 0.4;
+  double w_randomize_component = 0.2;
+  /// After each action, another action follows with this probability
+  /// (geometric; expected actions = 1/(1-p)). More than one action per child
+  /// raises the rate of functionally novel candidates, which matters at
+  /// seconds-scale budgets (the cache absorbs duplicate children anyway).
+  double extra_action_prob = 0.4;
+  bool allow_relation_ops = true;
+  int input_dim = 13;  ///< n = f = w, bounds extraction indices & windows.
+  ProgramLimits limits;
+};
+
+/// Generates random instructions/programs and mutates parents within the
+/// search-space limits. Stateless except for configuration; all randomness
+/// comes from the caller's Rng.
+class Mutator {
+ public:
+  explicit Mutator(MutatorConfig config);
+
+  /// Produces a child program (see MutatorConfig for the action mix).
+  AlphaProgram Mutate(const AlphaProgram& parent, Rng& rng) const;
+
+  /// Uniformly random instruction legal in component `c`.
+  Instruction RandomInstruction(ComponentId c, Rng& rng) const;
+
+  /// Random program whose component sizes are drawn within
+  /// [min, min(max, size_cap)] — used for the `alpha_AE_R` initialization.
+  AlphaProgram RandomProgram(Rng& rng, int size_cap = 8) const;
+
+  const MutatorConfig& config() const { return config_; }
+
+ private:
+  void RandomizeOneField(Instruction& ins, ComponentId c, Rng& rng) const;
+  void InsertOrRemove(AlphaProgram& prog, Rng& rng) const;
+  double RandomConst(Rng& rng) const;
+
+  MutatorConfig config_;
+};
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_MUTATOR_H_

@@ -1,0 +1,150 @@
+#include "core/opcode.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace alphaevolve::core {
+namespace {
+
+constexpr OperandType kNone = OperandType::kNone;
+constexpr OperandType kScalar = OperandType::kScalar;
+constexpr OperandType kVector = OperandType::kVector;
+constexpr OperandType kMatrix = OperandType::kMatrix;
+// Short ImmKind aliases to keep the table readable.
+constexpr ImmKind kImN = ImmKind::kNone;
+constexpr ImmKind kImC = ImmKind::kConst;
+constexpr ImmKind kImC2 = ImmKind::kConst2;
+constexpr ImmKind kImI2 = ImmKind::kIndex2;
+constexpr ImmKind kImI = ImmKind::kIndex;
+constexpr ImmKind kImA = ImmKind::kAxis;
+constexpr ImmKind kImG = ImmKind::kGroup;
+constexpr ImmKind kImW = ImmKind::kWindow;
+
+constexpr OpInfo kOpTable[kNumOps] = {
+    // name, out, in1, in2, imm, is_relation, reads_m0, is_random
+    {"noop", kNone, kNone, kNone, kImN, false, false, false},
+    // scalar
+    {"s_const", kScalar, kNone, kNone, kImC, false, false, false},
+    {"s_add", kScalar, kScalar, kScalar, kImN, false, false, false},
+    {"s_sub", kScalar, kScalar, kScalar, kImN, false, false, false},
+    {"s_mul", kScalar, kScalar, kScalar, kImN, false, false, false},
+    {"s_div", kScalar, kScalar, kScalar, kImN, false, false, false},
+    {"s_abs", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_recip", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_sin", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_cos", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_tan", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_arcsin", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_arccos", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_arctan", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_exp", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_log", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_heaviside", kScalar, kScalar, kNone, kImN, false, false, false},
+    {"s_min", kScalar, kScalar, kScalar, kImN, false, false, false},
+    {"s_max", kScalar, kScalar, kScalar, kImN, false, false, false},
+    // vector
+    {"v_const", kVector, kNone, kNone, kImC, false, false, false},
+    {"v_scale", kVector, kVector, kScalar, kImN, false, false, false},
+    {"v_bcast", kVector, kScalar, kNone, kImN, false, false, false},
+    {"v_recip", kVector, kVector, kNone, kImN, false, false, false},
+    {"v_abs", kVector, kVector, kNone, kImN, false, false, false},
+    {"v_add", kVector, kVector, kVector, kImN, false, false, false},
+    {"v_sub", kVector, kVector, kVector, kImN, false, false, false},
+    {"v_mul", kVector, kVector, kVector, kImN, false, false, false},
+    {"v_div", kVector, kVector, kVector, kImN, false, false, false},
+    {"v_min", kVector, kVector, kVector, kImN, false, false, false},
+    {"v_max", kVector, kVector, kVector, kImN, false, false, false},
+    {"v_heaviside", kVector, kVector, kNone, kImN, false, false, false},
+    {"v_dot", kScalar, kVector, kVector, kImN, false, false, false},
+    {"v_outer", kMatrix, kVector, kVector, kImN, false, false, false},
+    {"v_norm", kScalar, kVector, kNone, kImN, false, false, false},
+    {"v_mean", kScalar, kVector, kNone, kImN, false, false, false},
+    {"v_std", kScalar, kVector, kNone, kImN, false, false, false},
+    {"v_uniform", kVector, kNone, kNone, kImC2, false, false, true},
+    {"v_gaussian", kVector, kNone, kNone, kImC2, false, false, true},
+    // matrix
+    {"m_const", kMatrix, kNone, kNone, kImC, false, false, false},
+    {"m_scale", kMatrix, kMatrix, kScalar, kImN, false, false, false},
+    {"m_recip", kMatrix, kMatrix, kNone, kImN, false, false, false},
+    {"m_abs", kMatrix, kMatrix, kNone, kImN, false, false, false},
+    {"m_add", kMatrix, kMatrix, kMatrix, kImN, false, false, false},
+    {"m_sub", kMatrix, kMatrix, kMatrix, kImN, false, false, false},
+    {"m_mul", kMatrix, kMatrix, kMatrix, kImN, false, false, false},
+    {"m_div", kMatrix, kMatrix, kMatrix, kImN, false, false, false},
+    {"m_min", kMatrix, kMatrix, kMatrix, kImN, false, false, false},
+    {"m_max", kMatrix, kMatrix, kMatrix, kImN, false, false, false},
+    {"m_heaviside", kMatrix, kMatrix, kNone, kImN, false, false, false},
+    {"m_matmul", kMatrix, kMatrix, kMatrix, kImN, false, false, false},
+    {"m_matvec", kVector, kMatrix, kVector, kImN, false, false, false},
+    {"m_transpose", kMatrix, kMatrix, kNone, kImN, false, false, false},
+    {"m_norm", kScalar, kMatrix, kNone, kImN, false, false, false},
+    {"m_norm_axis", kVector, kMatrix, kNone, kImA, false, false, false},
+    {"m_mean", kScalar, kMatrix, kNone, kImN, false, false, false},
+    {"m_std", kScalar, kMatrix, kNone, kImN, false, false, false},
+    {"m_mean_axis", kVector, kMatrix, kNone, kImA, false, false, false},
+    {"m_bcast", kMatrix, kVector, kNone, kImA, false, false, false},
+    {"m_uniform", kMatrix, kNone, kNone, kImC2, false, false, true},
+    {"m_gaussian", kMatrix, kNone, kNone, kImC2, false, false, true},
+    // extraction
+    {"get_scalar", kScalar, kNone, kNone, kImI2, false, true, false},
+    {"get_row", kVector, kNone, kNone, kImI, false, true, false},
+    {"get_column", kVector, kNone, kNone, kImI, false, true, false},
+    // time series
+    {"ts_rank", kScalar, kScalar, kNone, kImW, false, false, false},
+    // relation
+    {"rank", kScalar, kScalar, kNone, kImN, true, false, false},
+    {"relation_rank", kScalar, kScalar, kNone, kImG, true, false, false},
+    {"relation_demean", kScalar, kScalar, kNone, kImG, true, false, false},
+};
+
+}  // namespace
+
+const OpInfo& GetOpInfo(Op op) {
+  const int i = static_cast<int>(op);
+  AE_CHECK(i >= 0 && i < kNumOps);
+  return kOpTable[i];
+}
+
+const char* ComponentName(ComponentId c) {
+  switch (c) {
+    case ComponentId::kSetup:
+      return "setup";
+    case ComponentId::kPredict:
+      return "predict";
+    case ComponentId::kUpdate:
+      return "update";
+  }
+  AE_CHECK(false);
+  return "";
+}
+
+bool OpAllowedIn(Op op, ComponentId c, bool allow_relation_ops) {
+  const OpInfo& info = GetOpInfo(op);
+  if (info.is_relation && !allow_relation_ops) return false;
+  if (c == ComponentId::kSetup) {
+    // Setup runs once, before any dated sample exists.
+    if (info.reads_m0 || info.is_relation || op == Op::kTsRank) return false;
+  }
+  return true;
+}
+
+const std::vector<Op>& OpsAllowedIn(ComponentId c, bool allow_relation_ops) {
+  // Four static tables: component-kind (setup vs dated) × relation policy.
+  static const auto build = [](ComponentId comp, bool relation) {
+    std::vector<Op> ops;
+    for (int i = 1; i < kNumOps; ++i) {  // skip kNoOp: never drawn randomly
+      const Op op = static_cast<Op>(i);
+      if (OpAllowedIn(op, comp, relation)) ops.push_back(op);
+    }
+    return ops;
+  };
+  static const std::vector<Op> setup_ops = build(ComponentId::kSetup, true);
+  static const std::vector<Op> dated_rel = build(ComponentId::kPredict, true);
+  static const std::vector<Op> dated_norel =
+      build(ComponentId::kPredict, false);
+  if (c == ComponentId::kSetup) return setup_ops;
+  return allow_relation_ops ? dated_rel : dated_norel;
+}
+
+}  // namespace alphaevolve::core

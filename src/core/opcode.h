@@ -1,0 +1,141 @@
+#ifndef ALPHAEVOLVE_CORE_OPCODE_H_
+#define ALPHAEVOLVE_CORE_OPCODE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace alphaevolve::core {
+
+/// Operand address spaces (paper §2): s = scalar, v = vector, m = matrix.
+enum class OperandType : uint8_t { kNone = 0, kScalar, kVector, kMatrix };
+
+/// Immediate-data interpretation of an instruction (stored in idx0/idx1 or
+/// imm0/imm1 of `Instruction`).
+enum class ImmKind : uint8_t {
+  kNone = 0,
+  kConst,    ///< imm0 = constant value.
+  kConst2,   ///< imm0, imm1 = (low, high) or (mean, stddev) for random ops.
+  kIndex2,   ///< idx0 = feature row, idx1 = day column (GetScalar).
+  kIndex,    ///< idx0 = row/column index (GetRow / GetColumn).
+  kAxis,     ///< idx0 ∈ {0, 1}: axis for norm/mean/broadcast ops.
+  kGroup,    ///< idx0 ∈ {0 = sector, 1 = industry} for RelationOps.
+  kWindow,   ///< idx0 = trailing window length for TsRank.
+};
+
+/// The operation set: AutoML-Zero's scalar/vector/matrix basic math ops
+/// plus the paper's proposed ExtractionOps (GetScalar/GetRow/GetColumn),
+/// RelationOps (Rank/RelationRank/RelationDemean) and a time-series rank.
+enum class Op : uint8_t {
+  kNoOp = 0,
+  // -- scalar --------------------------------------------------------------
+  kScalarConst,        ///< s_out = imm0
+  kScalarAdd,          ///< s_out = s_in1 + s_in2
+  kScalarSub,          ///< s_out = s_in1 - s_in2
+  kScalarMul,          ///< s_out = s_in1 * s_in2
+  kScalarDiv,          ///< s_out = s_in1 / s_in2
+  kScalarAbs,          ///< s_out = |s_in1|
+  kScalarReciprocal,   ///< s_out = 1 / s_in1
+  kScalarSin,
+  kScalarCos,
+  kScalarTan,
+  kScalarArcSin,
+  kScalarArcCos,
+  kScalarArcTan,
+  kScalarExp,
+  kScalarLog,
+  kScalarHeaviside,    ///< s_out = s_in1 > 0 ? 1 : 0
+  kScalarMin,
+  kScalarMax,
+  // -- vector --------------------------------------------------------------
+  kVectorConst,        ///< v_out[:] = imm0
+  kVectorScale,        ///< v_out = s_in2 * v_in1
+  kVectorBroadcast,    ///< v_out[:] = s_in1
+  kVectorReciprocal,
+  kVectorAbs,
+  kVectorAdd,
+  kVectorSub,
+  kVectorMul,          ///< elementwise
+  kVectorDiv,          ///< elementwise
+  kVectorMin,
+  kVectorMax,
+  kVectorHeaviside,
+  kVectorDot,          ///< s_out = v_in1 · v_in2
+  kVectorOuter,        ///< m_out = v_in1 ⊗ v_in2
+  kVectorNorm,         ///< s_out = ||v_in1||_2
+  kVectorMean,
+  kVectorStd,
+  kVectorUniform,      ///< v_out ~ U(imm0, imm1)
+  kVectorGaussian,     ///< v_out ~ N(imm0, imm1)
+  // -- matrix --------------------------------------------------------------
+  kMatrixConst,        ///< m_out[:,:] = imm0
+  kMatrixScale,        ///< m_out = s_in2 * m_in1
+  kMatrixReciprocal,
+  kMatrixAbs,
+  kMatrixAdd,
+  kMatrixSub,
+  kMatrixMul,          ///< elementwise (Hadamard)
+  kMatrixDiv,          ///< elementwise
+  kMatrixMin,
+  kMatrixMax,
+  kMatrixHeaviside,
+  kMatrixMatMul,       ///< m_out = m_in1 × m_in2
+  kMatrixVectorProduct,///< v_out = m_in1 · v_in2
+  kMatrixTranspose,
+  kMatrixNorm,         ///< s_out = Frobenius norm
+  kMatrixNormAxis,     ///< v_out = per-row (axis=1) / per-column (axis=0) L2
+  kMatrixMean,         ///< s_out = mean of entries
+  kMatrixStd,          ///< s_out = std of entries
+  kMatrixMeanAxis,     ///< v_out = per-row / per-column means
+  kMatrixBroadcast,    ///< m_out rows (axis=0) or columns (axis=1) = v_in1
+  kMatrixUniform,
+  kMatrixGaussian,
+  // -- ExtractionOps (paper §4.1); all read the input matrix m0 ------------
+  kGetScalar,          ///< s_out = m0[idx0, idx1]
+  kGetRow,             ///< v_out = m0[idx0, :]   (one feature across days)
+  kGetColumn,          ///< v_out = m0[:, idx0]   (all features on one day)
+  // -- time series ----------------------------------------------------------
+  kTsRank,             ///< s_out = rank of s_in1 within its own trailing
+                       ///< history of idx0 days (per task), in [0, 1]
+  // -- RelationOps (paper §4.1); cross-task at the same date ----------------
+  kRank,               ///< s_out = rank of s_in1 among all tasks, in [0, 1]
+  kRelationRank,       ///< rank within the same sector/industry (idx0)
+  kRelationDemean,     ///< s_in1 minus the sector/industry mean (idx0)
+  kNumOps,             // sentinel
+};
+
+inline constexpr int kNumOps = static_cast<int>(Op::kNumOps);
+
+/// Static description of an op's type signature.
+struct OpInfo {
+  const char* name;
+  OperandType out;
+  OperandType in1;
+  OperandType in2;
+  ImmKind imm;
+  bool is_relation;   ///< Needs cross-task gather at the same date.
+  bool reads_m0;      ///< ExtractionOps implicitly read the input matrix.
+  bool is_random;     ///< Draws from the executor RNG.
+};
+
+/// Returns the signature of `op` (O(1) table lookup).
+const OpInfo& GetOpInfo(Op op);
+
+/// Program components (paper §2): Setup / Predict / Update.
+enum class ComponentId : uint8_t { kSetup = 0, kPredict = 1, kUpdate = 2 };
+
+inline constexpr int kNumComponents = 3;
+
+const char* ComponentName(ComponentId c);
+
+/// True if `op` may appear in component `c`. Setup excludes ops that need a
+/// dated sample (extraction, ts-rank, relation). Relation ops can be globally
+/// disabled — that is the "selective injection of relational domain
+/// knowledge": the knowledge enters only if evolution keeps the ops.
+bool OpAllowedIn(Op op, ComponentId c, bool allow_relation_ops);
+
+/// All ops allowed in `c` under the given relation-op policy.
+const std::vector<Op>& OpsAllowedIn(ComponentId c, bool allow_relation_ops);
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_OPCODE_H_

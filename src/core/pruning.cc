@@ -1,0 +1,163 @@
+#include "core/pruning.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace alphaevolve::core {
+namespace {
+
+// Operand-bit layout in the 64-bit live set: scalars [0,10), vectors
+// [10,26), matrices [26,30). Limits never exceed these (checked below).
+constexpr int kScalarBase = 0;
+constexpr int kVectorBase = 10;
+constexpr int kMatrixBase = 26;
+
+uint64_t Bit(OperandType type, int addr) {
+  switch (type) {
+    case OperandType::kScalar:
+      return 1ULL << (kScalarBase + addr);
+    case OperandType::kVector:
+      return 1ULL << (kVectorBase + addr);
+    case OperandType::kMatrix:
+      return 1ULL << (kMatrixBase + addr);
+    case OperandType::kNone:
+      return 0;
+  }
+  return 0;
+}
+
+uint64_t GenBits(const Instruction& ins) {
+  const OpInfo& info = GetOpInfo(ins.op);
+  uint64_t bits = 0;
+  if (info.in1 != OperandType::kNone) bits |= Bit(info.in1, ins.in1);
+  if (info.in2 != OperandType::kNone) bits |= Bit(info.in2, ins.in2);
+  if (info.reads_m0) bits |= Bit(OperandType::kMatrix, kInputMatrix);
+  return bits;
+}
+
+uint64_t KillBit(const Instruction& ins) {
+  const OpInfo& info = GetOpInfo(ins.op);
+  if (info.out == OperandType::kNone) return 0;
+  return Bit(info.out, ins.out);
+}
+
+}  // namespace
+
+PruneResult PruneRedundant(const AlphaProgram& program,
+                           const ProgramLimits& limits) {
+  AE_CHECK(limits.num_scalars <= 10 && limits.num_vectors <= 16 &&
+           limits.num_matrices <= 4);
+
+  const uint64_t s0_bit = Bit(OperandType::kScalar, kLabelScalar);
+  const uint64_t s1_bit = Bit(OperandType::kScalar, kPredictionScalar);
+  const uint64_t m0_bit = Bit(OperandType::kMatrix, kInputMatrix);
+
+  const int np = static_cast<int>(program.predict.size());
+  const int nu = static_cast<int>(program.update.size());
+  const int ns = static_cast<int>(program.setup.size());
+
+  std::vector<bool> needed_predict(static_cast<size_t>(np), false);
+  std::vector<bool> needed_update(static_cast<size_t>(nu), false);
+  std::vector<bool> needed_setup(static_cast<size_t>(ns), false);
+
+  // Backward scan of one instruction list; marks newly necessary
+  // instructions and transforms the live set.
+  auto scan = [](const std::vector<Instruction>& instrs,
+                 std::vector<bool>& needed, uint64_t live) -> uint64_t {
+    for (int i = static_cast<int>(instrs.size()) - 1; i >= 0; --i) {
+      const Instruction& ins = instrs[static_cast<size_t>(i)];
+      if (ins.op == Op::kNoOp) continue;
+      const uint64_t kill = KillBit(ins);
+      if ((kill & live) != 0) needed[static_cast<size_t>(i)] = true;
+      if (needed[static_cast<size_t>(i)]) {
+        live &= ~kill;
+        live |= GenBits(ins);
+      }
+    }
+    return live;
+  };
+
+  // Scalars read through the ts_rank history ring by currently necessary
+  // instructions: live at the history-record point (period end).
+  auto ts_history_bits = [&]() -> uint64_t {
+    uint64_t bits = 0;
+    auto collect = [&](const std::vector<Instruction>& instrs,
+                       const std::vector<bool>& needed) {
+      for (size_t i = 0; i < instrs.size(); ++i) {
+        if (needed[i] && instrs[i].op == Op::kTsRank) {
+          bits |= Bit(OperandType::kScalar, instrs[i].in1);
+        }
+      }
+    };
+    collect(program.predict, needed_predict);
+    collect(program.update, needed_update);
+    return bits;
+  };
+
+  // Iterate the cyclic period to fixpoint. The necessary sets and the
+  // wrapped live set grow monotonically, so convergence is guaranteed; the
+  // bound below is generous.
+  uint64_t live_wrap = 0;
+  const int max_iters = 2 * (np + nu) + 66;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    const uint64_t prev_wrap = live_wrap;
+    const std::vector<bool> prev_predict = needed_predict;
+    const std::vector<bool> prev_update = needed_update;
+
+    uint64_t live = live_wrap | ts_history_bits();  // period end
+    live = scan(program.update, needed_update, live);
+    live &= ~s0_bit;   // external definition of the label
+    live |= s1_bit;    // external read of the prediction
+    live = scan(program.predict, needed_predict, live);
+    live &= ~m0_bit;   // external refresh of the input matrix
+    live_wrap |= live;
+
+    if (live_wrap == prev_wrap && needed_predict == prev_predict &&
+        needed_update == prev_update) {
+      break;
+    }
+  }
+
+  // Setup runs once before the first period.
+  scan(program.setup, needed_setup, live_wrap);
+
+  PruneResult result;
+  bool uses_m0 = false;
+  auto emit = [&](const std::vector<Instruction>& instrs,
+                  const std::vector<bool>& needed,
+                  std::vector<Instruction>& out) {
+    for (size_t i = 0; i < instrs.size(); ++i) {
+      if (!needed[i]) {
+        ++result.num_pruned_instructions;
+        continue;
+      }
+      out.push_back(instrs[i]);
+      if ((GenBits(instrs[i]) & m0_bit) != 0) uses_m0 = true;
+    }
+  };
+  emit(program.setup, needed_setup, result.pruned.setup);
+  emit(program.predict, needed_predict, result.pruned.predict);
+  emit(program.update, needed_update, result.pruned.update);
+
+  // Fig. 5b: the alpha is redundant when the prediction has no dataflow
+  // from the input matrix (includes the no-necessary-instructions case:
+  // the prediction would be the constant zero).
+  result.redundant = !uses_m0;
+  return result;
+}
+
+uint64_t HashString(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+uint64_t Fingerprint(const AlphaProgram& pruned_program) {
+  return HashString(pruned_program.ToString());
+}
+
+}  // namespace alphaevolve::core

@@ -1,0 +1,48 @@
+#ifndef ALPHAEVOLVE_CORE_PRUNING_H_
+#define ALPHAEVOLVE_CORE_PRUNING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/program.h"
+
+namespace alphaevolve::core {
+
+/// Result of the redundancy-pruning analysis (paper §4.2, Fig. 5).
+struct PruneResult {
+  /// The program with every operation that cannot contribute to the
+  /// prediction removed (in original order).
+  AlphaProgram pruned;
+  /// True when the prediction has no dataflow from the input matrix m0
+  /// (Fig. 5b): the whole alpha is redundant and need not be evaluated.
+  bool redundant = false;
+  int num_pruned_instructions = 0;
+};
+
+/// Dataflow liveness analysis over the cyclic execution graph.
+///
+/// The program period is [refresh m0 → Predict → read s1 → set s0 → Update →
+/// record history], repeated every date; values written late in a period can
+/// be read early in the *next* period (the dashed edge in Fig. 5), so the
+/// analysis iterates backward passes, wrapping the live set across the
+/// period boundary, until the necessary-instruction set reaches a fixpoint.
+/// Setup is analyzed once against the period-start live set.
+///
+/// External definitions kill liveness: m0 is refreshed before Predict, s0 is
+/// set before Update. The external *use* of s1 after Predict seeds liveness.
+/// A necessary `ts_rank` on scalar a additionally makes a live at the
+/// history-record point (its value flows through the history ring).
+PruneResult PruneRedundant(const AlphaProgram& program,
+                           const ProgramLimits& limits);
+
+/// 64-bit FNV-1a over the canonical text of the pruned program. Two alphas
+/// whose pruned forms coincide share fitness; the evaluator also seeds the
+/// executor RNG with this fingerprint so cached scores are reproducible.
+uint64_t Fingerprint(const AlphaProgram& pruned_program);
+
+/// FNV-1a convenience over an arbitrary string.
+uint64_t HashString(const std::string& text);
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_PRUNING_H_

@@ -1,0 +1,39 @@
+#ifndef ALPHAEVOLVE_EVAL_PORTFOLIO_H_
+#define ALPHAEVOLVE_EVAL_PORTFOLIO_H_
+
+#include <vector>
+
+#include "market/dataset.h"
+
+namespace alphaevolve::eval {
+
+/// Long-short portfolio construction (paper §5.3).
+struct PortfolioConfig {
+  /// Number of stocks on each side. The paper uses 50 with 1,026 stocks;
+  /// at bench scale the default is resolved as max(1, num_tasks/20) when
+  /// set to 0 (auto).
+  int top_n = 0;
+
+  int ResolveTopN(int num_tasks) const;
+};
+
+/// Daily portfolio returns of the long-short strategy: at each date, long
+/// the `top_n` highest predicted returns and short the `top_n` lowest,
+/// equal-weighted and dollar-neutral against the cash position, so
+///
+///   R_p(t) = (mean(realized return of longs) −
+///             mean(realized return of shorts)) / 2.
+///
+/// `predictions[d][k]` and the dataset's labels over `dates` supply the
+/// rankings and the realized next-day returns.
+std::vector<double> PortfolioReturns(
+    const market::Dataset& dataset, const std::vector<int>& dates,
+    const std::vector<std::vector<double>>& predictions,
+    const PortfolioConfig& config);
+
+/// Net-asset-value path implied by the return series, NAV(0) = 1.
+std::vector<double> NavPath(const std::vector<double>& portfolio_returns);
+
+}  // namespace alphaevolve::eval
+
+#endif  // ALPHAEVOLVE_EVAL_PORTFOLIO_H_

@@ -1,0 +1,219 @@
+#include "ga/expr.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "market/features.h"
+#include "util/check.h"
+
+namespace alphaevolve::ga {
+namespace {
+
+constexpr double kProtectEps = 0.001;  // gplearn's protected-div threshold
+
+}  // namespace
+
+int GpArity(GpOp op) {
+  switch (op) {
+    case GpOp::kConst:
+    case GpOp::kFeature:
+      return 0;
+    case GpOp::kNeg:
+    case GpOp::kAbs:
+    case GpOp::kSqrt:
+    case GpOp::kLog:
+    case GpOp::kInv:
+    case GpOp::kSin:
+    case GpOp::kCos:
+    case GpOp::kTan:
+      return 1;
+    case GpOp::kAdd:
+    case GpOp::kSub:
+    case GpOp::kMul:
+    case GpOp::kDiv:
+    case GpOp::kMax:
+    case GpOp::kMin:
+      return 2;
+  }
+  AE_CHECK(false);
+  return 0;
+}
+
+const char* GpOpName(GpOp op) {
+  switch (op) {
+    case GpOp::kConst:
+      return "const";
+    case GpOp::kFeature:
+      return "feature";
+    case GpOp::kAdd:
+      return "add";
+    case GpOp::kSub:
+      return "sub";
+    case GpOp::kMul:
+      return "mul";
+    case GpOp::kDiv:
+      return "div";
+    case GpOp::kMax:
+      return "max";
+    case GpOp::kMin:
+      return "min";
+    case GpOp::kNeg:
+      return "neg";
+    case GpOp::kAbs:
+      return "abs";
+    case GpOp::kSqrt:
+      return "sqrt";
+    case GpOp::kLog:
+      return "log";
+    case GpOp::kInv:
+      return "inv";
+    case GpOp::kSin:
+      return "sin";
+    case GpOp::kCos:
+      return "cos";
+    case GpOp::kTan:
+      return "tan";
+  }
+  AE_CHECK(false);
+  return "";
+}
+
+std::unique_ptr<GpNode> GpNode::Clone() const {
+  auto node = std::make_unique<GpNode>();
+  node->op = op;
+  node->value = value;
+  node->feature = feature;
+  if (left) node->left = left->Clone();
+  if (right) node->right = right->Clone();
+  return node;
+}
+
+double GpNode::Eval(const float* features) const {
+  switch (op) {
+    case GpOp::kConst:
+      return value;
+    case GpOp::kFeature:
+      return static_cast<double>(features[feature]);
+    case GpOp::kAdd:
+      return left->Eval(features) + right->Eval(features);
+    case GpOp::kSub:
+      return left->Eval(features) - right->Eval(features);
+    case GpOp::kMul:
+      return left->Eval(features) * right->Eval(features);
+    case GpOp::kDiv: {
+      const double b = right->Eval(features);
+      if (std::abs(b) < kProtectEps) return 1.0;  // protected
+      return left->Eval(features) / b;
+    }
+    case GpOp::kMax:
+      return std::max(left->Eval(features), right->Eval(features));
+    case GpOp::kMin:
+      return std::min(left->Eval(features), right->Eval(features));
+    case GpOp::kNeg:
+      return -left->Eval(features);
+    case GpOp::kAbs:
+      return std::abs(left->Eval(features));
+    case GpOp::kSqrt:
+      return std::sqrt(std::abs(left->Eval(features)));
+    case GpOp::kLog: {
+      const double a = std::abs(left->Eval(features));
+      if (a < kProtectEps) return 0.0;  // protected
+      return std::log(a);
+    }
+    case GpOp::kInv: {
+      const double a = left->Eval(features);
+      if (std::abs(a) < kProtectEps) return 0.0;  // protected
+      return 1.0 / a;
+    }
+    case GpOp::kSin:
+      return std::sin(left->Eval(features));
+    case GpOp::kCos:
+      return std::cos(left->Eval(features));
+    case GpOp::kTan:
+      return std::tan(left->Eval(features));
+  }
+  AE_CHECK(false);
+  return 0.0;
+}
+
+std::string GpNode::ToString() const {
+  switch (GpArity(op)) {
+    case 0: {
+      if (op == GpOp::kFeature) return market::FeatureName(feature);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      return buf;
+    }
+    case 1:
+      return std::string(GpOpName(op)) + "(" + left->ToString() + ")";
+    default:
+      return std::string(GpOpName(op)) + "(" + left->ToString() + ", " +
+             right->ToString() + ")";
+  }
+}
+
+int GpNode::CountNodes() const {
+  int n = 1;
+  if (left) n += left->CountNodes();
+  if (right) n += right->CountNodes();
+  return n;
+}
+
+int GpNode::Depth() const {
+  int d = 0;
+  if (left) d = std::max(d, left->Depth());
+  if (right) d = std::max(d, right->Depth());
+  return d + 1;
+}
+
+std::unique_ptr<GpNode> RandomTree(Rng& rng, int num_features, int max_depth,
+                                   bool full) {
+  auto node = std::make_unique<GpNode>();
+  const bool make_terminal =
+      max_depth <= 1 || (!full && rng.Bernoulli(0.3));
+  if (make_terminal) {
+    if (rng.Bernoulli(0.8)) {
+      node->op = GpOp::kFeature;
+      node->feature = rng.UniformInt(num_features);
+    } else {
+      node->op = GpOp::kConst;
+      node->value = rng.Uniform(-1.0, 1.0);
+    }
+    return node;
+  }
+  // Functions kAdd..kTan.
+  const int first = static_cast<int>(GpOp::kAdd);
+  const int last = static_cast<int>(GpOp::kTan);
+  node->op = static_cast<GpOp>(rng.UniformInt(first, last));
+  node->left = RandomTree(rng, num_features, max_depth - 1, full);
+  if (GpArity(node->op) == 2) {
+    node->right = RandomTree(rng, num_features, max_depth - 1, full);
+  }
+  return node;
+}
+
+namespace {
+GpNode* NthNodeImpl(GpNode* root, int& index) {
+  if (index == 0) return root;
+  --index;
+  if (root->left) {
+    GpNode* found = NthNodeImpl(root->left.get(), index);
+    if (found != nullptr) return found;
+  }
+  if (root->right) {
+    GpNode* found = NthNodeImpl(root->right.get(), index);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+}  // namespace
+
+GpNode* NthNode(GpNode* root, int index) {
+  AE_CHECK(root != nullptr && index >= 0);
+  GpNode* node = NthNodeImpl(root, index);
+  AE_CHECK_MSG(node != nullptr, "node index out of range");
+  return node;
+}
+
+}  // namespace alphaevolve::ga

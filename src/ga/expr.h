@@ -1,0 +1,70 @@
+#ifndef ALPHAEVOLVE_GA_EXPR_H_
+#define ALPHAEVOLVE_GA_EXPR_H_
+
+#include <memory>
+#include <string>
+
+#include "util/rng.h"
+
+namespace alphaevolve::ga {
+
+/// gplearn-style function set over scalar features. Unary ops are
+/// "protected" as in gplearn: div/inv guard small denominators, log/sqrt
+/// take |x|.
+enum class GpOp : uint8_t {
+  kConst = 0,  ///< terminal: constant
+  kFeature,    ///< terminal: one of the 13 features at the most recent day
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMax,
+  kMin,
+  kNeg,
+  kAbs,
+  kSqrt,
+  kLog,
+  kInv,
+  kSin,
+  kCos,
+  kTan,
+};
+
+/// Number of children of `op` (0, 1 or 2).
+int GpArity(GpOp op);
+
+const char* GpOpName(GpOp op);
+
+/// Expression-tree node. Owned recursively.
+struct GpNode {
+  GpOp op = GpOp::kConst;
+  double value = 0.0;  ///< kConst payload.
+  int feature = 0;     ///< kFeature payload.
+  std::unique_ptr<GpNode> left;
+  std::unique_ptr<GpNode> right;
+
+  /// Deep copy.
+  std::unique_ptr<GpNode> Clone() const;
+
+  /// Evaluates against one sample's feature vector (size num_features).
+  double Eval(const float* features) const;
+
+  /// Infix rendering, e.g. "div(sub(close, open), add(vol5, 0.001))".
+  std::string ToString() const;
+
+  int CountNodes() const;
+  int Depth() const;
+};
+
+/// Uniformly random terminal/function tree of exactly ("full") or up to
+/// ("grow") `max_depth`, as in gplearn's ramped half-and-half init.
+std::unique_ptr<GpNode> RandomTree(Rng& rng, int num_features, int max_depth,
+                                   bool full);
+
+/// Returns a mutable pointer to the `index`-th node in pre-order
+/// (0 = root). `index` must be < CountNodes().
+GpNode* NthNode(GpNode* root, int index);
+
+}  // namespace alphaevolve::ga
+
+#endif  // ALPHAEVOLVE_GA_EXPR_H_

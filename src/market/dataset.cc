@@ -1,0 +1,131 @@
+#include "market/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "market/simulator.h"
+#include "util/check.h"
+
+namespace alphaevolve::market {
+
+Dataset Dataset::Build(const std::vector<StockSeries>& panel,
+                       const DatasetConfig& config) {
+  AE_CHECK_MSG(config.window == kNumFeatures,
+               "the input matrix X must be square (f == w == 13)");
+  AE_CHECK(!panel.empty());
+
+  // The shared calendar length is the maximum series length; only stocks
+  // that are listed for the whole calendar survive (filter 1).
+  int num_days = 0;
+  for (const auto& s : panel) {
+    num_days = std::max(num_days, static_cast<int>(s.bars.size()));
+  }
+
+  Dataset ds;
+  ds.window_ = config.window;
+  ds.num_days_ = num_days;
+
+  std::unordered_map<int, int> sector_remap, industry_remap;
+  for (const auto& s : panel) {
+    if (static_cast<int>(s.bars.size()) < num_days) continue;  // filter 1
+    bool too_low = false;
+    for (const auto& bar : s.bars) {
+      if (bar.close < config.min_price) {
+        too_low = true;  // filter 2
+        break;
+      }
+    }
+    if (too_low) continue;
+
+    const int task = static_cast<int>(ds.meta_.size());
+    StockMeta meta = s.meta;
+    meta.id = task;
+    ds.meta_.push_back(meta);
+
+    auto [sec_it, sec_new] =
+        sector_remap.emplace(s.meta.sector,
+                             static_cast<int>(ds.sector_tasks_.size()));
+    if (sec_new) ds.sector_tasks_.emplace_back();
+    ds.sector_of_.push_back(sec_it->second);
+    ds.sector_tasks_[static_cast<size_t>(sec_it->second)].push_back(task);
+
+    auto [ind_it, ind_new] =
+        industry_remap.emplace(s.meta.industry,
+                               static_cast<int>(ds.industry_tasks_.size()));
+    if (ind_new) ds.industry_tasks_.emplace_back();
+    ds.industry_of_.push_back(ind_it->second);
+    ds.industry_tasks_[static_cast<size_t>(ind_it->second)].push_back(task);
+
+    ds.features_.push_back(BuildFeatureSeries(s));
+    std::vector<double> closes(static_cast<size_t>(num_days));
+    std::vector<double> labels(static_cast<size_t>(num_days), 0.0);
+    for (int t = 0; t < num_days; ++t) {
+      closes[static_cast<size_t>(t)] = s.bars[static_cast<size_t>(t)].close;
+    }
+    for (int t = 0; t + 1 < num_days; ++t) {
+      labels[static_cast<size_t>(t)] =
+          (closes[static_cast<size_t>(t + 1)] - closes[static_cast<size_t>(t)]) /
+          closes[static_cast<size_t>(t)];
+    }
+    ds.closes_.push_back(std::move(closes));
+    ds.labels_.push_back(std::move(labels));
+  }
+  AE_CHECK_MSG(!ds.meta_.empty(), "all stocks were filtered out");
+
+  // Usable dates: full feature window available and a next-day label exists.
+  ds.first_usable_date_ = kFeatureWarmup - 1 + config.window - 1;
+  const int last_usable_date = num_days - 2;
+  AE_CHECK_MSG(ds.first_usable_date_ <= last_usable_date,
+               "calendar too short for the feature window");
+  const int usable = last_usable_date - ds.first_usable_date_ + 1;
+
+  const int train_n = static_cast<int>(usable * config.train_fraction);
+  const int valid_n = static_cast<int>(usable * config.valid_fraction);
+  AE_CHECK(train_n >= 1 && valid_n >= 1 &&
+           usable - train_n - valid_n >= 1);
+  for (int i = 0; i < usable; ++i) {
+    const int date = ds.first_usable_date_ + i;
+    if (i < train_n) {
+      ds.train_dates_.push_back(date);
+    } else if (i < train_n + valid_n) {
+      ds.valid_dates_.push_back(date);
+    } else {
+      ds.test_dates_.push_back(date);
+    }
+  }
+  return ds;
+}
+
+Dataset Dataset::Simulate(const MarketConfig& mc, const DatasetConfig& config) {
+  Rng rng(mc.seed);
+  const Universe universe = Universe::Generate(mc, rng);
+  const auto panel = MarketSimulator::Simulate(mc, universe, rng);
+  return Build(panel, config);
+}
+
+const std::vector<int>& Dataset::dates(Split split) const {
+  switch (split) {
+    case Split::kTrain:
+      return train_dates_;
+    case Split::kValid:
+      return valid_dates_;
+    case Split::kTest:
+      return test_dates_;
+  }
+  AE_CHECK(false);
+  return train_dates_;  // unreachable
+}
+
+void Dataset::FillInputMatrix(int task, int date, double* out) const {
+  const int w = window_;
+  const float* base = features_[static_cast<size_t>(task)].data();
+  for (int j = 0; j < w; ++j) {
+    const float* col =
+        base + static_cast<size_t>(date - w + 1 + j) * kNumFeatures;
+    for (int f = 0; f < kNumFeatures; ++f) {
+      out[f * w + j] = static_cast<double>(col[f]);
+    }
+  }
+}
+
+}  // namespace alphaevolve::market

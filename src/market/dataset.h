@@ -1,0 +1,106 @@
+#ifndef ALPHAEVOLVE_MARKET_DATASET_H_
+#define ALPHAEVOLVE_MARKET_DATASET_H_
+
+#include <vector>
+
+#include "market/features.h"
+#include "market/types.h"
+#include "market/universe.h"
+#include "util/rng.h"
+
+namespace alphaevolve::market {
+
+/// Which sample split a date belongs to (chronological, as in the paper:
+/// 988 / 116 / 116 of 1220 days ≈ 81% / 9.5% / 9.5%).
+enum class Split { kTrain, kValid, kTest };
+
+/// Dataset assembly options.
+struct DatasetConfig {
+  int window = 13;             ///< w; must equal kNumFeatures (13) so X is square.
+  double train_fraction = 0.81;
+  double valid_fraction = 0.095;
+  double min_price = 1.0;      ///< Filter 2: drop stocks that ever trade below.
+};
+
+/// The multi-task regression dataset: one task per surviving stock, samples
+/// (X ∈ R^{13×13}, y = next-day return) aligned on a shared calendar.
+///
+/// Filtering (paper §5.1): stocks with insufficient samples (delisted before
+/// the calendar end) and stocks reaching too-low prices are removed, so every
+/// remaining task is active on every date — which is what makes lockstep
+/// cross-task execution of RelationOps well-defined on each date.
+class Dataset {
+ public:
+  /// Builds the dataset from a simulated panel. `universe` provides
+  /// sector/industry ids; tasks are re-indexed densely after filtering.
+  static Dataset Build(const std::vector<StockSeries>& panel,
+                       const DatasetConfig& config);
+
+  /// Convenience: generate a universe + panel from `mc` and build.
+  static Dataset Simulate(const MarketConfig& mc, const DatasetConfig& config);
+
+  int num_tasks() const { return static_cast<int>(meta_.size()); }
+  int num_features() const { return kNumFeatures; }
+  int window() const { return window_; }
+
+  const StockMeta& task_meta(int task) const { return meta_[task]; }
+
+  /// Dense sector/industry group ids (0-based, only groups with members).
+  int sector_of(int task) const { return sector_of_[task]; }
+  int industry_of(int task) const { return industry_of_[task]; }
+  int num_sector_groups() const { return static_cast<int>(sector_tasks_.size()); }
+  int num_industry_groups() const {
+    return static_cast<int>(industry_tasks_.size());
+  }
+  const std::vector<int>& sector_tasks(int group) const {
+    return sector_tasks_[group];
+  }
+  const std::vector<int>& industry_tasks(int group) const {
+    return industry_tasks_[group];
+  }
+
+  /// Date indices (into the shared calendar) per split, in chronological
+  /// order. Every listed date has a full feature window and a next-day label.
+  const std::vector<int>& dates(Split split) const;
+
+  /// Label: the return of day date+1, (close[t+1] - close[t]) / close[t].
+  double Label(int task, int date) const {
+    return labels_[task][static_cast<size_t>(date)];
+  }
+
+  /// Copies the w most recent feature columns into `out` (row-major f×w,
+  /// out[f*w + j], column w-1 = day `date`). `out` must hold 13*w doubles.
+  void FillInputMatrix(int task, int date, double* out) const;
+
+  /// Pointer to the 13 features of (task, date); valid for dates in splits.
+  const float* FeatureRow(int task, int date) const {
+    return features_[task].data() +
+           static_cast<size_t>(date) * kNumFeatures;
+  }
+
+  /// Raw close price (for examples / diagnostics).
+  double Close(int task, int date) const {
+    return closes_[task][static_cast<size_t>(date)];
+  }
+
+  int num_days() const { return num_days_; }
+  int first_usable_date() const { return first_usable_date_; }
+
+ private:
+  int window_ = 13;
+  int num_days_ = 0;
+  int first_usable_date_ = 0;
+  std::vector<StockMeta> meta_;
+  std::vector<int> sector_of_;
+  std::vector<int> industry_of_;
+  std::vector<std::vector<int>> sector_tasks_;
+  std::vector<std::vector<int>> industry_tasks_;
+  std::vector<std::vector<float>> features_;   // [task][day*13 + f]
+  std::vector<std::vector<double>> labels_;    // [task][day]
+  std::vector<std::vector<double>> closes_;    // [task][day]
+  std::vector<int> train_dates_, valid_dates_, test_dates_;
+};
+
+}  // namespace alphaevolve::market
+
+#endif  // ALPHAEVOLVE_MARKET_DATASET_H_

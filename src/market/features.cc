@@ -1,0 +1,82 @@
+#include "market/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace alphaevolve::market {
+namespace {
+
+double WindowMean(const std::vector<OhlcvBar>& bars, int t, int w) {
+  double sum = 0.0;
+  for (int i = t - w + 1; i <= t; ++i) {
+    sum += bars[static_cast<size_t>(i)].close;
+  }
+  return sum / static_cast<double>(w);
+}
+
+double WindowStd(const std::vector<OhlcvBar>& bars, int t, int w) {
+  const double mu = WindowMean(bars, t, w);
+  double ss = 0.0;
+  for (int i = t - w + 1; i <= t; ++i) {
+    const double d = bars[static_cast<size_t>(i)].close - mu;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(w - 1));
+}
+
+}  // namespace
+
+const char* FeatureName(int feature) {
+  static const char* kNames[kNumFeatures] = {
+      "ma5",  "ma10",  "ma20", "ma30", "vol5",   "vol10", "vol20",
+      "vol30", "open", "high", "low",  "close", "volume"};
+  AE_CHECK(feature >= 0 && feature < kNumFeatures);
+  return kNames[feature];
+}
+
+std::vector<float> BuildFeatureSeries(const StockSeries& series) {
+  const auto& bars = series.bars;
+  const int num_days = static_cast<int>(bars.size());
+  std::vector<float> values(static_cast<size_t>(num_days) * kNumFeatures,
+                            0.0f);
+  AE_CHECK_MSG(num_days >= kFeatureWarmup,
+               "stock " << series.meta.symbol << " too short");
+
+  for (int t = kFeatureWarmup - 1; t < num_days; ++t) {
+    float* row = values.data() + static_cast<size_t>(t) * kNumFeatures;
+    row[kMa5] = static_cast<float>(WindowMean(bars, t, 5));
+    row[kMa10] = static_cast<float>(WindowMean(bars, t, 10));
+    row[kMa20] = static_cast<float>(WindowMean(bars, t, 20));
+    row[kMa30] = static_cast<float>(WindowMean(bars, t, 30));
+    row[kVol5] = static_cast<float>(WindowStd(bars, t, 5));
+    row[kVol10] = static_cast<float>(WindowStd(bars, t, 10));
+    row[kVol20] = static_cast<float>(WindowStd(bars, t, 20));
+    row[kVol30] = static_cast<float>(WindowStd(bars, t, 30));
+    const OhlcvBar& bar = bars[static_cast<size_t>(t)];
+    row[kOpen] = static_cast<float>(bar.open);
+    row[kHigh] = static_cast<float>(bar.high);
+    row[kLow] = static_cast<float>(bar.low);
+    row[kClose] = static_cast<float>(bar.close);
+    row[kVolume] = static_cast<float>(bar.volume);
+  }
+
+  // Per-stock, per-feature max normalization over valid days (§5.1).
+  for (int f = 0; f < kNumFeatures; ++f) {
+    float max_abs = 0.0f;
+    for (int t = kFeatureWarmup - 1; t < num_days; ++t) {
+      max_abs = std::max(
+          max_abs,
+          std::abs(values[static_cast<size_t>(t) * kNumFeatures + f]));
+    }
+    if (max_abs > 0.0f) {
+      for (int t = kFeatureWarmup - 1; t < num_days; ++t) {
+        values[static_cast<size_t>(t) * kNumFeatures + f] /= max_abs;
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace alphaevolve::market

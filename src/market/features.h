@@ -1,0 +1,51 @@
+#ifndef ALPHAEVOLVE_MARKET_FEATURES_H_
+#define ALPHAEVOLVE_MARKET_FEATURES_H_
+
+#include <vector>
+
+#include "market/types.h"
+
+namespace alphaevolve::market {
+
+/// The paper's 13 feature types (§5.2), in row order of the input matrix X:
+/// moving averages of close over 5/10/20/30 days, close-price volatilities
+/// (trailing standard deviation) over 5/10/20/30 days, then open, high, low,
+/// close, volume.
+enum Feature : int {
+  kMa5 = 0,
+  kMa10 = 1,
+  kMa20 = 2,
+  kMa30 = 3,
+  kVol5 = 4,
+  kVol10 = 5,
+  kVol20 = 6,
+  kVol30 = 7,
+  kOpen = 8,
+  kHigh = 9,
+  kLow = 10,
+  kClose = 11,
+  kVolume = 12,
+};
+
+inline constexpr int kNumFeatures = 13;
+
+/// Longest trailing window any feature needs; days before this index have no
+/// feature row.
+inline constexpr int kFeatureWarmup = 30;
+
+/// Human-readable feature names, aligned with the Feature enum.
+const char* FeatureName(int feature);
+
+/// Computes the 13-feature series for one stock.
+///
+/// Output layout is day-major: `values[t * kNumFeatures + f]` for day t of
+/// the input series. Days `t < kFeatureWarmup - 1` are zero-filled and must
+/// not be used (the Dataset's date ranges exclude them). After computation
+/// each feature is normalized by its maximum over all valid days of this
+/// stock, exactly as in the paper (§5.1) — note this uses the full history
+/// including test days, replicating the paper's preprocessing.
+std::vector<float> BuildFeatureSeries(const StockSeries& series);
+
+}  // namespace alphaevolve::market
+
+#endif  // ALPHAEVOLVE_MARKET_FEATURES_H_

@@ -1,0 +1,183 @@
+#include "market/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace alphaevolve::market {
+namespace {
+
+constexpr int kMa20Window = 20;
+constexpr int kMomentumWindow = 10;
+
+struct StockState {
+  double beta_market = 1.0;
+  double beta_sector = 1.0;
+  double beta_industry = 1.0;
+  double idio_vol = 0.02;      // long-run idiosyncratic vol (daily)
+  double garch_h = 0.0;        // current conditional variance
+  double last_eps = 0.0;       // last idiosyncratic shock
+  bool penny = false;
+  int delist_day = -1;         // -1 = never delists
+  std::vector<double> closes;  // close path (grows day by day)
+  double pending_signal = 0.0; // signal committed for the *next* day
+};
+
+/// Trailing simple moving average of the last `w` closes (or all, if fewer).
+double TrailingMa(const std::vector<double>& closes, int w) {
+  const int n = static_cast<int>(closes.size());
+  const int lo = std::max(0, n - w);
+  double sum = 0.0;
+  for (int i = lo; i < n; ++i) sum += closes[static_cast<size_t>(i)];
+  return sum / static_cast<double>(n - lo);
+}
+
+double TrailingReturn(const std::vector<double>& closes, int w) {
+  const int n = static_cast<int>(closes.size());
+  if (n < w + 1) return 0.0;
+  const double past = closes[static_cast<size_t>(n - 1 - w)];
+  if (past <= 0.0) return 0.0;
+  return closes[static_cast<size_t>(n - 1)] / past - 1.0;
+}
+
+}  // namespace
+
+std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
+                                                   const Universe& universe,
+                                                   Rng& rng) {
+  AE_CHECK(universe.num_stocks() == config.num_stocks);
+  AE_CHECK(config.num_days > kMa20Window + 2);
+
+  const int num_stocks = config.num_stocks;
+  const int num_days = config.num_days;
+
+  std::vector<StockSeries> series(static_cast<size_t>(num_stocks));
+  std::vector<StockState> state(static_cast<size_t>(num_stocks));
+
+  for (int k = 0; k < num_stocks; ++k) {
+    series[static_cast<size_t>(k)].meta = universe.stock(k);
+    StockState& st = state[static_cast<size_t>(k)];
+    st.beta_market = rng.Uniform(0.5, 1.5);
+    st.beta_sector = rng.Uniform(0.5, 1.5);
+    st.beta_industry = rng.Uniform(0.5, 1.5);
+    st.idio_vol = rng.Uniform(config.idio_vol_min, config.idio_vol_max);
+    st.garch_h = st.idio_vol * st.idio_vol;
+    st.penny = rng.Bernoulli(config.penny_fraction);
+    if (rng.Bernoulli(config.delist_fraction)) {
+      // Delist somewhere in the second half of the calendar so the stock has
+      // *some* bars but not enough samples.
+      st.delist_day = rng.UniformInt(num_days / 2, num_days - 1);
+    }
+    double p0 = rng.Uniform(config.initial_price_min, config.initial_price_max);
+    if (st.penny) p0 = rng.Uniform(0.05, 0.8);
+    st.closes.push_back(p0);
+  }
+
+  std::vector<double> sector_mom(static_cast<size_t>(universe.num_sectors()));
+  std::vector<int> sector_count(static_cast<size_t>(universe.num_sectors()));
+
+  const int break_day =
+      config.relation_break_fraction > 0.0
+          ? static_cast<int>(num_days * config.relation_break_fraction)
+          : -1;
+
+  for (int t = 0; t < num_days; ++t) {
+    if (t == break_day) {
+      // Sector rotation: the co-movement structure changes abruptly.
+      for (int k = 0; k < num_stocks; ++k) {
+        StockState& st = state[static_cast<size_t>(k)];
+        st.beta_sector = rng.Uniform(0.5, 1.5);
+        st.beta_industry = rng.Uniform(0.5, 1.5);
+      }
+    }
+    // Cross-sectional signal commitment: uses only state observable today.
+    std::fill(sector_mom.begin(), sector_mom.end(), 0.0);
+    std::fill(sector_count.begin(), sector_count.end(), 0);
+    std::vector<double> mom(static_cast<size_t>(num_stocks));
+    for (int k = 0; k < num_stocks; ++k) {
+      const StockState& st = state[static_cast<size_t>(k)];
+      mom[static_cast<size_t>(k)] = TrailingReturn(st.closes, kMomentumWindow);
+      const int sec = universe.stock(k).sector;
+      sector_mom[static_cast<size_t>(sec)] += mom[static_cast<size_t>(k)];
+      sector_count[static_cast<size_t>(sec)] += 1;
+    }
+    for (int s = 0; s < universe.num_sectors(); ++s) {
+      if (sector_count[static_cast<size_t>(s)] > 0) {
+        sector_mom[static_cast<size_t>(s)] /=
+            static_cast<double>(sector_count[static_cast<size_t>(s)]);
+      }
+    }
+
+    // Factor draws for the day.
+    const double f_market = rng.Gaussian(0.0, config.market_vol);
+    std::vector<double> f_sector(static_cast<size_t>(universe.num_sectors()));
+    for (auto& f : f_sector) f = rng.Gaussian(0.0, config.sector_vol);
+    std::vector<double> f_industry(
+        static_cast<size_t>(universe.num_industries()));
+    for (auto& f : f_industry) f = rng.Gaussian(0.0, config.industry_vol);
+
+    for (int k = 0; k < num_stocks; ++k) {
+      StockState& st = state[static_cast<size_t>(k)];
+      StockSeries& sr = series[static_cast<size_t>(k)];
+      if (st.delist_day >= 0 && t >= st.delist_day) continue;  // delisted
+
+      const StockMeta& meta = sr.meta;
+      // GARCH(1,1) conditional variance update.
+      const double omega = st.idio_vol * st.idio_vol *
+                           (1.0 - config.garch_alpha - config.garch_beta);
+      st.garch_h = omega + config.garch_alpha * st.last_eps * st.last_eps +
+                   config.garch_beta * st.garch_h;
+      const double eps = rng.Gaussian(0.0, std::sqrt(st.garch_h));
+      st.last_eps = eps;
+
+      const double r =
+          st.beta_market * f_market +
+          st.beta_sector * f_sector[static_cast<size_t>(meta.sector)] +
+          st.beta_industry * f_industry[static_cast<size_t>(meta.industry)] +
+          st.pending_signal + eps;
+
+      const double prev_close = st.closes.back();
+      const double close = prev_close * std::exp(r);
+
+      OhlcvBar bar;
+      bar.close = close;
+      bar.open = prev_close * std::exp(rng.Gaussian(0.0, 0.004));
+      const double hi_noise = std::abs(rng.Gaussian(0.0, 0.006));
+      const double lo_noise = std::abs(rng.Gaussian(0.0, 0.006));
+      bar.high = std::max(bar.open, bar.close) * std::exp(hi_noise);
+      bar.low = std::min(bar.open, bar.close) * std::exp(-lo_noise);
+      bar.volume = 1.0e6 * std::exp(rng.Gaussian(0.0, 0.3) + 8.0 * std::abs(r));
+      sr.bars.push_back(bar);
+      st.closes.push_back(close);
+
+      // Commit tomorrow's predictable component from today's observables.
+      const double ma20 = TrailingMa(st.closes, kMa20Window);
+      const double mr_term =
+          config.mean_reversion_strength * (ma20 / close - 1.0);
+      const double mom_term =
+          config.momentum_strength *
+          (mom[static_cast<size_t>(k)] -
+           sector_mom[static_cast<size_t>(meta.sector)]);
+      st.pending_signal = mr_term + mom_term;
+    }
+  }
+  return series;
+}
+
+MarketConfig MarketConfig::Nasdaq2013() {
+  MarketConfig c;
+  c.num_stocks = 1140;  // ~1026 survive the two filters, as in the paper
+  c.num_days = 1260;    // 1220 usable after the 40-day warmup
+  c.num_sectors = 11;
+  c.industries_per_sector = 6;
+  c.seed = 2013;
+  return c;
+}
+
+MarketConfig MarketConfig::BenchScale() {
+  MarketConfig c;  // defaults are bench scale
+  return c;
+}
+
+}  // namespace alphaevolve::market

@@ -1,0 +1,38 @@
+#ifndef ALPHAEVOLVE_MARKET_SIMULATOR_H_
+#define ALPHAEVOLVE_MARKET_SIMULATOR_H_
+
+#include <vector>
+
+#include "market/types.h"
+#include "market/universe.h"
+#include "util/rng.h"
+
+namespace alphaevolve::market {
+
+/// Synthetic daily-bar market generator, the substitute for the paper's
+/// proprietary NASDAQ 2013–2017 feed (see DESIGN.md, "Substitutions").
+///
+/// Return model for stock k on day t (log-return scale):
+///
+///   r[k,t] = beta_m[k]*f_m[t] + beta_s[k]*f_sec(k)[t] + beta_i[k]*f_ind(k)[t]
+///          + signal[k,t-1] + sqrt(h[k,t]) * eps[k,t]
+///
+/// where `h` follows a GARCH(1,1) recursion (volatility clustering) and
+/// `signal` is committed one day ahead from *observable* state:
+///
+///   signal[k,t-1] = mr * (MA20[k,t-1]/close[k,t-1] - 1)
+///                 + mom * (ret10[k,t-1] - mean_sector(ret10[.,t-1]))
+///
+/// so that a model observing day t-1 features genuinely can predict part of
+/// day t's return — the property every miner in the paper exploits.
+/// OHLC and volume are synthesized around the close path.
+class MarketSimulator {
+ public:
+  /// Generates the full panel. `universe` supplies the relational structure.
+  static std::vector<StockSeries> Simulate(const MarketConfig& config,
+                                           const Universe& universe, Rng& rng);
+};
+
+}  // namespace alphaevolve::market
+
+#endif  // ALPHAEVOLVE_MARKET_SIMULATOR_H_

@@ -1,0 +1,47 @@
+#include "market/universe.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace alphaevolve::market {
+
+Universe Universe::Generate(const MarketConfig& config, Rng& rng) {
+  AE_CHECK(config.num_stocks > 0);
+  AE_CHECK(config.num_sectors > 0);
+  AE_CHECK(config.industries_per_sector > 0);
+
+  Universe u;
+  u.num_sectors_ = config.num_sectors;
+  u.num_industries_ = config.num_sectors * config.industries_per_sector;
+  u.sector_members_.resize(static_cast<size_t>(u.num_sectors_));
+  u.industry_members_.resize(static_cast<size_t>(u.num_industries_));
+  u.stocks_.reserve(static_cast<size_t>(config.num_stocks));
+
+  for (int id = 0; id < config.num_stocks; ++id) {
+    StockMeta meta;
+    meta.id = id;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "S%04d", id);
+    meta.symbol = buf;
+    meta.sector = rng.UniformInt(config.num_sectors);
+    const int local_industry = rng.UniformInt(config.industries_per_sector);
+    meta.industry = meta.sector * config.industries_per_sector + local_industry;
+    u.sector_members_[static_cast<size_t>(meta.sector)].push_back(id);
+    u.industry_members_[static_cast<size_t>(meta.industry)].push_back(id);
+    u.stocks_.push_back(std::move(meta));
+  }
+  return u;
+}
+
+const std::vector<int>& Universe::SectorMembers(int sector) const {
+  AE_CHECK(sector >= 0 && sector < num_sectors_);
+  return sector_members_[static_cast<size_t>(sector)];
+}
+
+const std::vector<int>& Universe::IndustryMembers(int industry) const {
+  AE_CHECK(industry >= 0 && industry < num_industries_);
+  return industry_members_[static_cast<size_t>(industry)];
+}
+
+}  // namespace alphaevolve::market

@@ -1,0 +1,44 @@
+#ifndef ALPHAEVOLVE_MARKET_UNIVERSE_H_
+#define ALPHAEVOLVE_MARKET_UNIVERSE_H_
+
+#include <vector>
+
+#include "market/types.h"
+#include "util/rng.h"
+
+namespace alphaevolve::market {
+
+/// The set of listed stocks with their sector→industry classification.
+/// Mirrors the relational domain knowledge the paper injects through
+/// RelationOps and the RSR baseline's graph.
+class Universe {
+ public:
+  /// Randomly assigns `config.num_stocks` stocks to sectors and industries.
+  /// Every industry belongs to exactly one sector; sector sizes are roughly
+  /// balanced with random jitter so group sizes differ (realistic and a
+  /// better test of group-wise ops).
+  static Universe Generate(const MarketConfig& config, Rng& rng);
+
+  int num_stocks() const { return static_cast<int>(stocks_.size()); }
+  int num_sectors() const { return num_sectors_; }
+  int num_industries() const { return num_industries_; }
+
+  const StockMeta& stock(int id) const { return stocks_[id]; }
+  const std::vector<StockMeta>& stocks() const { return stocks_; }
+
+  /// Stock ids in the given sector.
+  const std::vector<int>& SectorMembers(int sector) const;
+  /// Stock ids in the given (global) industry.
+  const std::vector<int>& IndustryMembers(int industry) const;
+
+ private:
+  std::vector<StockMeta> stocks_;
+  std::vector<std::vector<int>> sector_members_;
+  std::vector<std::vector<int>> industry_members_;
+  int num_sectors_ = 0;
+  int num_industries_ = 0;
+};
+
+}  // namespace alphaevolve::market
+
+#endif  // ALPHAEVOLVE_MARKET_UNIVERSE_H_

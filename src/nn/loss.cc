@@ -1,0 +1,45 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace alphaevolve::nn {
+
+double RankingLoss(std::span<const float> preds, std::span<const float> labels,
+                   double alpha, float* d_pred) {
+  AE_CHECK(preds.size() == labels.size());
+  const int k = static_cast<int>(preds.size());
+  AE_CHECK(k >= 1);
+  const double inv_k = 1.0 / k;
+  const double inv_k2 = 1.0 / (static_cast<double>(k) * k);
+
+  double loss = 0.0;
+  for (int i = 0; i < k; ++i) {
+    const double e = preds[static_cast<size_t>(i)] -
+                     labels[static_cast<size_t>(i)];
+    loss += e * e * inv_k;
+    d_pred[i] = static_cast<float>(2.0 * e * inv_k);
+  }
+
+  if (alpha > 0.0) {
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        if (i == j) continue;
+        const double dp = static_cast<double>(preds[static_cast<size_t>(i)]) -
+                          preds[static_cast<size_t>(j)];
+        const double dy = static_cast<double>(labels[static_cast<size_t>(i)]) -
+                          labels[static_cast<size_t>(j)];
+        const double term = -dp * dy;
+        if (term > 0.0) {
+          loss += alpha * inv_k2 * term;
+          d_pred[i] += static_cast<float>(-alpha * inv_k2 * dy);
+          d_pred[j] += static_cast<float>(alpha * inv_k2 * dy);
+        }
+      }
+    }
+  }
+  return loss;
+}
+
+}  // namespace alphaevolve::nn

@@ -1,0 +1,22 @@
+#ifndef ALPHAEVOLVE_NN_LOSS_H_
+#define ALPHAEVOLVE_NN_LOSS_H_
+
+#include <span>
+#include <vector>
+
+namespace alphaevolve::nn {
+
+/// Combined point-wise regression + pair-wise ranking loss used by the
+/// Rank_LSTM / RSR baselines (Feng et al. 2019; the paper tunes the balance
+/// hyper-parameter α over {0.01, 0.1, 1, 10}):
+///
+///   L = 1/K Σ_i (ŷ_i − y_i)²
+///     + α/K² Σ_{i,j} max(0, −(ŷ_i − ŷ_j)(y_i − y_j))
+///
+/// Returns L and writes ∂L/∂ŷ into `d_pred` (size K).
+double RankingLoss(std::span<const float> preds, std::span<const float> labels,
+                   double alpha, float* d_pred);
+
+}  // namespace alphaevolve::nn
+
+#endif  // ALPHAEVOLVE_NN_LOSS_H_

@@ -1,0 +1,144 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace alphaevolve::nn {
+namespace {
+
+inline float Sigmoid(float x) { return 1.f / (1.f + std::exp(-x)); }
+
+}  // namespace
+
+Lstm::Lstm(int input_dim, int hidden_dim, Rng& rng)
+    : wx(Mat::Xavier(4 * hidden_dim, input_dim, rng)),
+      wh(Mat::Xavier(4 * hidden_dim, hidden_dim, rng)),
+      b(static_cast<size_t>(4 * hidden_dim), 0.f),
+      input_dim_(input_dim),
+      hidden_dim_(hidden_dim) {
+  AE_CHECK(input_dim >= 1 && hidden_dim >= 1);
+  // Forget-gate bias at 1 eases gradient flow early in training.
+  for (int i = hidden_dim; i < 2 * hidden_dim; ++i) {
+    b[static_cast<size_t>(i)] = 1.f;
+  }
+}
+
+Lstm::Grads::Grads(const Lstm& lstm)
+    : d_wx(4 * lstm.hidden_dim(), lstm.input_dim()),
+      d_wh(4 * lstm.hidden_dim(), lstm.hidden_dim()),
+      d_b(static_cast<size_t>(4 * lstm.hidden_dim()), 0.f) {}
+
+void Lstm::Grads::Zero() {
+  d_wx.Zero();
+  d_wh.Zero();
+  std::fill(d_b.begin(), d_b.end(), 0.f);
+}
+
+const float* Lstm::Forward(const float* x, int len, Cache& cache) const {
+  const int h_dim = hidden_dim_;
+  const int g4 = 4 * h_dim;
+  cache.len = len;
+  cache.x.assign(x, x + static_cast<size_t>(len) * input_dim_);
+  cache.gates.assign(static_cast<size_t>(len) * g4, 0.f);
+  cache.c.assign(static_cast<size_t>(len) * h_dim, 0.f);
+  cache.h.assign(static_cast<size_t>(len) * h_dim, 0.f);
+
+  std::vector<float> pre(static_cast<size_t>(g4));
+  for (int t = 0; t < len; ++t) {
+    const float* xt = x + static_cast<size_t>(t) * input_dim_;
+    const float* h_prev =
+        t == 0 ? nullptr : cache.h.data() + static_cast<size_t>(t - 1) * h_dim;
+    for (int i = 0; i < g4; ++i) pre[static_cast<size_t>(i)] = b[static_cast<size_t>(i)];
+    MatVec(wx, xt, pre.data(), /*accumulate=*/true);
+    if (h_prev != nullptr) MatVec(wh, h_prev, pre.data(), /*accumulate=*/true);
+
+    float* gates = cache.gates.data() + static_cast<size_t>(t) * g4;
+    float* ct = cache.c.data() + static_cast<size_t>(t) * h_dim;
+    float* ht = cache.h.data() + static_cast<size_t>(t) * h_dim;
+    const float* c_prev =
+        t == 0 ? nullptr : cache.c.data() + static_cast<size_t>(t - 1) * h_dim;
+    for (int j = 0; j < h_dim; ++j) {
+      const float ig = Sigmoid(pre[static_cast<size_t>(j)]);
+      const float fg = Sigmoid(pre[static_cast<size_t>(h_dim + j)]);
+      const float gg = std::tanh(pre[static_cast<size_t>(2 * h_dim + j)]);
+      const float og = Sigmoid(pre[static_cast<size_t>(3 * h_dim + j)]);
+      gates[j] = ig;
+      gates[h_dim + j] = fg;
+      gates[2 * h_dim + j] = gg;
+      gates[3 * h_dim + j] = og;
+      const float prev_c = c_prev == nullptr ? 0.f : c_prev[j];
+      ct[j] = fg * prev_c + ig * gg;
+      ht[j] = og * std::tanh(ct[j]);
+    }
+  }
+  return cache.h.data() + static_cast<size_t>(len - 1) * h_dim;
+}
+
+void Lstm::Backward(const Cache& cache, const float* d_h_last,
+                    Grads& grads) const {
+  const int h_dim = hidden_dim_;
+  const int g4 = 4 * h_dim;
+  const int len = cache.len;
+  AE_CHECK(len >= 1);
+
+  std::vector<float> dh(d_h_last, d_h_last + h_dim);
+  std::vector<float> dc(static_cast<size_t>(h_dim), 0.f);
+  std::vector<float> dpre(static_cast<size_t>(g4));
+  std::vector<float> dh_prev(static_cast<size_t>(h_dim));
+
+  for (int t = len - 1; t >= 0; --t) {
+    const float* gates = cache.gates.data() + static_cast<size_t>(t) * g4;
+    const float* ct = cache.c.data() + static_cast<size_t>(t) * h_dim;
+    const float* c_prev =
+        t == 0 ? nullptr : cache.c.data() + static_cast<size_t>(t - 1) * h_dim;
+    const float* h_prev =
+        t == 0 ? nullptr : cache.h.data() + static_cast<size_t>(t - 1) * h_dim;
+    const float* xt = cache.x.data() + static_cast<size_t>(t) * input_dim_;
+
+    for (int j = 0; j < h_dim; ++j) {
+      const float ig = gates[j];
+      const float fg = gates[h_dim + j];
+      const float gg = gates[2 * h_dim + j];
+      const float og = gates[3 * h_dim + j];
+      const float tanh_c = std::tanh(ct[j]);
+      const float d_o = dh[static_cast<size_t>(j)] * tanh_c;
+      const float dct = dc[static_cast<size_t>(j)] +
+                        dh[static_cast<size_t>(j)] * og * (1.f - tanh_c * tanh_c);
+      const float d_i = dct * gg;
+      const float d_g = dct * ig;
+      const float prev_c = c_prev == nullptr ? 0.f : c_prev[j];
+      const float d_f = dct * prev_c;
+      dc[static_cast<size_t>(j)] = dct * fg;  // becomes next (earlier) step's dc
+
+      dpre[static_cast<size_t>(j)] = d_i * ig * (1.f - ig);
+      dpre[static_cast<size_t>(h_dim + j)] = d_f * fg * (1.f - fg);
+      dpre[static_cast<size_t>(2 * h_dim + j)] = d_g * (1.f - gg * gg);
+      dpre[static_cast<size_t>(3 * h_dim + j)] = d_o * og * (1.f - og);
+    }
+
+    AddOuter(grads.d_wx, dpre.data(), xt);
+    if (h_prev != nullptr) AddOuter(grads.d_wh, dpre.data(), h_prev);
+    for (int i = 0; i < g4; ++i) {
+      grads.d_b[static_cast<size_t>(i)] += dpre[static_cast<size_t>(i)];
+    }
+
+    MatTVec(wh, dpre.data(), dh_prev.data(), /*accumulate=*/false);
+    dh = dh_prev;
+  }
+}
+
+void Lstm::ApplyGrads(const Grads& grads, double lr) {
+  if (adam_wx_ == nullptr) {
+    adam_lr_ = lr;
+    adam_wx_ = std::make_unique<Adam>(wx.size(), lr);
+    adam_wh_ = std::make_unique<Adam>(wh.size(), lr);
+    adam_b_ = std::make_unique<Adam>(b.size(), lr);
+  }
+  AE_CHECK_MSG(lr == adam_lr_, "learning rate changed mid-training");
+  adam_wx_->Step(wx.data.data(), grads.d_wx.data.data());
+  adam_wh_->Step(wh.data.data(), grads.d_wh.data.data());
+  adam_b_->Step(b.data(), grads.d_b.data());
+}
+
+}  // namespace alphaevolve::nn

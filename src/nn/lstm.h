@@ -1,0 +1,70 @@
+#ifndef ALPHAEVOLVE_NN_LSTM_H_
+#define ALPHAEVOLVE_NN_LSTM_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace alphaevolve::nn {
+
+/// Single-layer LSTM with full backpropagation through time, written from
+/// scratch (the paper's Rank_LSTM/RSR baselines run on TensorFlow; this is
+/// the substitute substrate — see DESIGN.md).
+///
+/// Gate layout in all 4H-sized buffers: [i | f | g | o] (input, forget,
+/// candidate, output).
+class Lstm {
+ public:
+  /// Xavier-initialized parameters; forget-gate bias starts at 1.
+  Lstm(int input_dim, int hidden_dim, Rng& rng);
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+
+  /// Per-sequence activation cache for BPTT.
+  struct Cache {
+    int len = 0;
+    std::vector<float> x;      // len × D
+    std::vector<float> gates;  // len × 4H (post-nonlinearity)
+    std::vector<float> c;      // len × H
+    std::vector<float> h;      // len × H
+  };
+
+  /// Gradient accumulators, matching the parameter shapes.
+  struct Grads {
+    Mat d_wx, d_wh;
+    std::vector<float> d_b;
+    explicit Grads(const Lstm& lstm);
+    void Zero();
+  };
+
+  /// Runs the sequence `x` (len × input_dim, row-major) from zero state and
+  /// fills `cache`. Returns a pointer to the final hidden state (H floats,
+  /// valid until the next Forward on the same cache).
+  const float* Forward(const float* x, int len, Cache& cache) const;
+
+  /// Backprop from `d_h_last` (dLoss/d h_T, H floats) through the whole
+  /// sequence; accumulates parameter gradients into `grads`.
+  void Backward(const Cache& cache, const float* d_h_last,
+                Grads& grads) const;
+
+  /// Applies Adam updates (owns optimizer state for its parameters).
+  void ApplyGrads(const Grads& grads, double lr);
+
+  // Parameters (public for tests and serialization).
+  Mat wx;                 // 4H × D
+  Mat wh;                 // 4H × H
+  std::vector<float> b;   // 4H
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  std::unique_ptr<Adam> adam_wx_, adam_wh_, adam_b_;
+  double adam_lr_ = -1.0;
+};
+
+}  // namespace alphaevolve::nn
+
+#endif  // ALPHAEVOLVE_NN_LSTM_H_

@@ -1,0 +1,126 @@
+#include "nn/rank_lstm.h"
+
+#include <algorithm>
+
+#include "market/features.h"
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace alphaevolve::nn {
+
+RankLstm::RankLstm(const market::Dataset& dataset, RankLstmConfig config)
+    : dataset_(dataset),
+      config_(config),
+      rng_(config.seed),
+      lstm_(kLstmInputDim, config.hidden, rng_),
+      fc_w_(Mat::Xavier(1, config.hidden, rng_)),
+      caches_(static_cast<size_t>(dataset.num_tasks())) {
+  AE_CHECK(config_.seq_len >= 1);
+}
+
+void RankLstm::BuildSequence(int task, int date, float* out) const {
+  const int first_day = market::kFeatureWarmup - 1;
+  for (int j = 0; j < config_.seq_len; ++j) {
+    const int day = date - config_.seq_len + 1 + j;
+    float* row = out + static_cast<size_t>(j) * kLstmInputDim;
+    if (day < first_day) {
+      std::fill_n(row, kLstmInputDim, 0.f);
+      continue;
+    }
+    const float* feats = dataset_.FeatureRow(task, day);
+    for (int f = 0; f < kLstmInputDim; ++f) row[f] = feats[f];  // MA5..MA30
+  }
+}
+
+void RankLstm::Train() {
+  const int num_tasks = dataset_.num_tasks();
+  const int h_dim = config_.hidden;
+  const auto& train_dates = dataset_.dates(market::Split::kTrain);
+
+  Lstm::Grads lstm_grads(lstm_);
+  Mat fc_w_grad(1, h_dim);
+  Adam adam_fc_w(fc_w_.size(), config_.lr);
+  Adam adam_fc_b(1, config_.lr);
+
+  std::vector<float> seq(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
+  std::vector<float> preds(static_cast<size_t>(num_tasks));
+  std::vector<float> labels(static_cast<size_t>(num_tasks));
+  std::vector<float> d_pred(static_cast<size_t>(num_tasks));
+  std::vector<float> dh(static_cast<size_t>(h_dim));
+  Mat h_all(num_tasks, h_dim);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    for (int date : train_dates) {
+      // Forward: one batch = all stocks at this date.
+      for (int k = 0; k < num_tasks; ++k) {
+        BuildSequence(k, date, seq.data());
+        const float* h =
+            lstm_.Forward(seq.data(), config_.seq_len,
+                          caches_[static_cast<size_t>(k)]);
+        std::copy_n(h, h_dim, h_all.row(k));
+        float y = fc_b_;
+        for (int j = 0; j < h_dim; ++j) y += fc_w_.at(0, j) * h[j];
+        preds[static_cast<size_t>(k)] = y;
+        labels[static_cast<size_t>(k)] =
+            static_cast<float>(dataset_.Label(k, date));
+      }
+      RankingLoss(preds, labels, config_.alpha, d_pred.data());
+
+      // Backward.
+      lstm_grads.Zero();
+      fc_w_grad.Zero();
+      float fc_b_grad = 0.f;
+      for (int k = 0; k < num_tasks; ++k) {
+        const float dy = d_pred[static_cast<size_t>(k)];
+        const float* h = h_all.row(k);
+        for (int j = 0; j < h_dim; ++j) {
+          fc_w_grad.at(0, j) += dy * h[j];
+          dh[static_cast<size_t>(j)] = dy * fc_w_.at(0, j);
+        }
+        fc_b_grad += dy;
+        lstm_.Backward(caches_[static_cast<size_t>(k)], dh.data(),
+                       lstm_grads);
+      }
+      lstm_.ApplyGrads(lstm_grads, config_.lr);
+      adam_fc_w.Step(fc_w_.data.data(), fc_w_grad.data.data());
+      adam_fc_b.Step(&fc_b_, &fc_b_grad);
+    }
+  }
+}
+
+std::vector<std::vector<double>> RankLstm::Predict(
+    const std::vector<int>& dates) {
+  const int num_tasks = dataset_.num_tasks();
+  const int h_dim = config_.hidden;
+  std::vector<float> seq(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
+  Lstm::Cache cache;
+  std::vector<std::vector<double>> preds;
+  preds.reserve(dates.size());
+  for (int date : dates) {
+    std::vector<double> row(static_cast<size_t>(num_tasks));
+    for (int k = 0; k < num_tasks; ++k) {
+      BuildSequence(k, date, seq.data());
+      const float* h = lstm_.Forward(seq.data(), config_.seq_len, cache);
+      float y = fc_b_;
+      for (int j = 0; j < h_dim; ++j) y += fc_w_.at(0, j) * h[j];
+      row[static_cast<size_t>(k)] = y;
+    }
+    preds.push_back(std::move(row));
+  }
+  return preds;
+}
+
+void RankLstm::Embeddings(int date, Mat* out) {
+  const int num_tasks = dataset_.num_tasks();
+  const int h_dim = config_.hidden;
+  AE_CHECK(out->rows == num_tasks && out->cols == h_dim);
+  std::vector<float> seq(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
+  Lstm::Cache cache;
+  for (int k = 0; k < num_tasks; ++k) {
+    BuildSequence(k, date, seq.data());
+    const float* h = lstm_.Forward(seq.data(), config_.seq_len, cache);
+    std::copy_n(h, h_dim, out->row(k));
+  }
+}
+
+}  // namespace alphaevolve::nn

@@ -1,0 +1,65 @@
+#ifndef ALPHAEVOLVE_NN_RANK_LSTM_H_
+#define ALPHAEVOLVE_NN_RANK_LSTM_H_
+
+#include <vector>
+
+#include "market/dataset.h"
+#include "nn/lstm.h"
+
+namespace alphaevolve::nn {
+
+/// Hyper-parameters of the Rank_LSTM baseline (paper §5.2): the grid is
+/// seq_len ∈ {4,8,16,32}, hidden ∈ {32,64,128,256}, α ∈ {0.01,0.1,1,10},
+/// learning rate fixed at 1e-3.
+struct RankLstmConfig {
+  int seq_len = 8;
+  int hidden = 32;
+  double alpha = 1.0;
+  double lr = 1e-3;
+  int epochs = 8;
+  uint64_t seed = 1;
+};
+
+/// Rank_LSTM: an LSTM over each stock's sequence of 4 moving-average
+/// features, mapped through a fully connected layer to a predicted return;
+/// trained date-by-date (each date = one batch of all stocks) with the
+/// combined point-wise + pair-wise ranking loss.
+class RankLstm {
+ public:
+  RankLstm(const market::Dataset& dataset, RankLstmConfig config);
+
+  /// Trains on the training split.
+  void Train();
+
+  /// Predictions per (date index, task). Dates whose sequence would reach
+  /// before the first feature day are predicted as 0 (never happens for the
+  /// standard splits with seq_len ≤ 13 + warmup margin).
+  std::vector<std::vector<double>> Predict(const std::vector<int>& dates);
+
+  /// Final hidden-state embeddings for all tasks at one date (RSR reuses
+  /// this as its sequential-embedding layer).
+  void Embeddings(int date, Mat* out);
+
+  const RankLstmConfig& config() const { return config_; }
+
+ private:
+  friend class Rsr;
+
+  /// Writes the (seq_len × 4) input sequence of `task` ending at `date`.
+  void BuildSequence(int task, int date, float* out) const;
+
+  const market::Dataset& dataset_;
+  RankLstmConfig config_;
+  Rng rng_;
+  Lstm lstm_;
+  Mat fc_w_;              // 1 × H
+  float fc_b_ = 0.f;
+  std::vector<Lstm::Cache> caches_;  // one per task (kept for backprop)
+};
+
+/// Number of input features per day for the LSTM baselines (MA 5/10/20/30).
+inline constexpr int kLstmInputDim = 4;
+
+}  // namespace alphaevolve::nn
+
+#endif  // ALPHAEVOLVE_NN_RANK_LSTM_H_

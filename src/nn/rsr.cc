@@ -1,0 +1,163 @@
+#include "nn/rsr.h"
+
+#include <algorithm>
+
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace alphaevolve::nn {
+
+Rsr::Rsr(const market::Dataset& dataset, RsrConfig config)
+    : dataset_(dataset),
+      config_(config),
+      encoder_(dataset, config.base),
+      w1_(Mat::Xavier(1, config.base.hidden, encoder_.rng_)),
+      w2_(Mat::Xavier(1, config.base.hidden, encoder_.rng_)),
+      neighbors_(static_cast<size_t>(dataset.num_tasks())) {
+  for (int k = 0; k < dataset_.num_tasks(); ++k) {
+    const auto& group =
+        config_.use_industry
+            ? dataset_.industry_tasks(dataset_.industry_of(k))
+            : dataset_.sector_tasks(dataset_.sector_of(k));
+    for (int j : group) {
+      if (j != k) neighbors_[static_cast<size_t>(k)].push_back(j);
+    }
+  }
+}
+
+void Rsr::ForwardDate(int date, bool for_training, Mat* e, Mat* e_bar,
+                      std::vector<float>* preds) {
+  (void)for_training;  // caches are per task and always refreshed
+  const int num_tasks = dataset_.num_tasks();
+  const int h_dim = config_.base.hidden;
+  std::vector<float> seq(static_cast<size_t>(config_.base.seq_len) *
+                         kLstmInputDim);
+  for (int k = 0; k < num_tasks; ++k) {
+    encoder_.BuildSequence(k, date, seq.data());
+    const float* h =
+        encoder_.lstm_.Forward(seq.data(), config_.base.seq_len,
+                               encoder_.caches_[static_cast<size_t>(k)]);
+    std::copy_n(h, h_dim, e->row(k));
+  }
+  e_bar->Zero();
+  for (int i = 0; i < num_tasks; ++i) {
+    const auto& nbrs = neighbors_[static_cast<size_t>(i)];
+    if (!nbrs.empty()) {
+      const float inv = 1.f / static_cast<float>(nbrs.size());
+      const float* ei = e->row(i);
+      float* out = e_bar->row(i);
+      for (int j : nbrs) {
+        const float* ej = e->row(j);
+        float g = 0.f;
+        for (int q = 0; q < h_dim; ++q) g += ei[q] * ej[q];
+        g /= static_cast<float>(h_dim);
+        const float w = inv * g;
+        for (int q = 0; q < h_dim; ++q) out[q] += w * ej[q];
+      }
+    }
+    float y = b_;
+    for (int q = 0; q < h_dim; ++q) {
+      y += w1_.at(0, q) * e->at(i, q) + w2_.at(0, q) * e_bar->at(i, q);
+    }
+    (*preds)[static_cast<size_t>(i)] = y;
+  }
+}
+
+void Rsr::Train() {
+  const int num_tasks = dataset_.num_tasks();
+  const int h_dim = config_.base.hidden;
+  const auto& train_dates = dataset_.dates(market::Split::kTrain);
+
+  Lstm::Grads lstm_grads(encoder_.lstm_);
+  Mat w1_grad(1, h_dim), w2_grad(1, h_dim);
+  Adam adam_w1(w1_.size(), config_.base.lr);
+  Adam adam_w2(w2_.size(), config_.base.lr);
+  Adam adam_b(1, config_.base.lr);
+
+  Mat e(num_tasks, h_dim), e_bar(num_tasks, h_dim), de(num_tasks, h_dim);
+  std::vector<float> preds(static_cast<size_t>(num_tasks));
+  std::vector<float> labels(static_cast<size_t>(num_tasks));
+  std::vector<float> d_pred(static_cast<size_t>(num_tasks));
+  std::vector<float> u(static_cast<size_t>(h_dim));
+
+  for (int epoch = 0; epoch < config_.base.epochs; ++epoch) {
+    for (int date : train_dates) {
+      ForwardDate(date, /*for_training=*/true, &e, &e_bar, &preds);
+      for (int k = 0; k < num_tasks; ++k) {
+        labels[static_cast<size_t>(k)] =
+            static_cast<float>(dataset_.Label(k, date));
+      }
+      RankingLoss(preds, labels, config_.base.alpha, d_pred.data());
+
+      lstm_grads.Zero();
+      w1_grad.Zero();
+      w2_grad.Zero();
+      float b_grad = 0.f;
+      de.Zero();
+
+      for (int i = 0; i < num_tasks; ++i) {
+        const float dy = d_pred[static_cast<size_t>(i)];
+        const float* ei = e.row(i);
+        const float* ebi = e_bar.row(i);
+        float* dei = de.row(i);
+        for (int q = 0; q < h_dim; ++q) {
+          w1_grad.at(0, q) += dy * ei[q];
+          w2_grad.at(0, q) += dy * ebi[q];
+          dei[q] += dy * w1_.at(0, q);
+          u[static_cast<size_t>(q)] = dy * w2_.at(0, q);
+        }
+        b_grad += dy;
+
+        const auto& nbrs = neighbors_[static_cast<size_t>(i)];
+        if (nbrs.empty()) continue;
+        const float inv = 1.f / static_cast<float>(nbrs.size());
+        for (int j : nbrs) {
+          const float* ej = e.row(j);
+          float g = 0.f, u_dot_ej = 0.f;
+          for (int q = 0; q < h_dim; ++q) {
+            g += ei[q] * ej[q];
+            u_dot_ej += u[static_cast<size_t>(q)] * ej[q];
+          }
+          g /= static_cast<float>(h_dim);
+          const float s = u_dot_ej / static_cast<float>(h_dim);
+          float* dej = de.row(j);
+          for (int q = 0; q < h_dim; ++q) {
+            // d ē_i / d e_j : g_ij·u + (u·e_j)/H · e_i
+            dej[q] += inv * (g * u[static_cast<size_t>(q)] + s * ei[q]);
+            // d g_ij / d e_i : (u·e_j)/H · e_j
+            dei[q] += inv * s * ej[q];
+          }
+        }
+      }
+
+      for (int k = 0; k < num_tasks; ++k) {
+        encoder_.lstm_.Backward(encoder_.caches_[static_cast<size_t>(k)],
+                                de.row(k), lstm_grads);
+      }
+      encoder_.lstm_.ApplyGrads(lstm_grads, config_.base.lr);
+      adam_w1.Step(w1_.data.data(), w1_grad.data.data());
+      adam_w2.Step(w2_.data.data(), w2_grad.data.data());
+      adam_b.Step(&b_, &b_grad);
+    }
+  }
+}
+
+std::vector<std::vector<double>> Rsr::Predict(const std::vector<int>& dates) {
+  const int num_tasks = dataset_.num_tasks();
+  const int h_dim = config_.base.hidden;
+  Mat e(num_tasks, h_dim), e_bar(num_tasks, h_dim);
+  std::vector<float> preds(static_cast<size_t>(num_tasks));
+  std::vector<std::vector<double>> out;
+  out.reserve(dates.size());
+  for (int date : dates) {
+    ForwardDate(date, /*for_training=*/false, &e, &e_bar, &preds);
+    std::vector<double> row(static_cast<size_t>(num_tasks));
+    for (int k = 0; k < num_tasks; ++k) {
+      row[static_cast<size_t>(k)] = preds[static_cast<size_t>(k)];
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace alphaevolve::nn

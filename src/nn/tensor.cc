@@ -1,0 +1,64 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace alphaevolve::nn {
+
+Mat Mat::Xavier(int r, int c, Rng& rng) {
+  Mat m(r, c);
+  const double bound = std::sqrt(6.0 / (r + c));
+  for (auto& x : m.data) {
+    x = static_cast<float>(rng.Uniform(-bound, bound));
+  }
+  return m;
+}
+
+void MatVec(const Mat& w, const float* x, float* out, bool accumulate) {
+  for (int r = 0; r < w.rows; ++r) {
+    const float* wr = w.row(r);
+    float acc = accumulate ? out[r] : 0.f;
+    for (int c = 0; c < w.cols; ++c) acc += wr[c] * x[c];
+    out[r] = acc;
+  }
+}
+
+void MatTVec(const Mat& w, const float* x, float* out, bool accumulate) {
+  if (!accumulate) {
+    for (int c = 0; c < w.cols; ++c) out[c] = 0.f;
+  }
+  for (int r = 0; r < w.rows; ++r) {
+    const float* wr = w.row(r);
+    const float xr = x[r];
+    for (int c = 0; c < w.cols; ++c) out[c] += wr[c] * xr;
+  }
+}
+
+void AddOuter(Mat& g, const float* a, const float* b) {
+  for (int r = 0; r < g.rows; ++r) {
+    float* gr = g.row(r);
+    const float ar = a[r];
+    for (int c = 0; c < g.cols; ++c) gr[c] += ar * b[c];
+  }
+}
+
+Adam::Adam(size_t size, double lr, double beta1, double beta2, double eps)
+    : m_(size, 0.f), v_(size, 0.f), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {}
+
+void Adam::Step(float* param, const float* grad) {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(beta1_, step_);
+  const double bc2 = 1.0 - std::pow(beta2_, step_);
+  for (size_t i = 0; i < m_.size(); ++i) {
+    const double g = grad[i];
+    m_[i] = static_cast<float>(beta1_ * m_[i] + (1.0 - beta1_) * g);
+    v_[i] = static_cast<float>(beta2_ * v_[i] + (1.0 - beta2_) * g * g);
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    param[i] -= static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+  }
+}
+
+}  // namespace alphaevolve::nn

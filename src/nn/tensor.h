@@ -1,0 +1,66 @@
+#ifndef ALPHAEVOLVE_NN_TENSOR_H_
+#define ALPHAEVOLVE_NN_TENSOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace alphaevolve::nn {
+
+/// Dense row-major float matrix — the minimal tensor the from-scratch
+/// neural baselines need. A 1×n or n×1 Mat doubles as a vector.
+struct Mat {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+
+  Mat() = default;
+  Mat(int r, int c) : rows(r), cols(c), data(static_cast<size_t>(r) * c, 0.f) {}
+
+  float& at(int r, int c) { return data[static_cast<size_t>(r) * cols + c]; }
+  float at(int r, int c) const {
+    return data[static_cast<size_t>(r) * cols + c];
+  }
+  float* row(int r) { return data.data() + static_cast<size_t>(r) * cols; }
+  const float* row(int r) const {
+    return data.data() + static_cast<size_t>(r) * cols;
+  }
+  size_t size() const { return data.size(); }
+  void Zero() { std::fill(data.begin(), data.end(), 0.f); }
+
+  /// Xavier-style uniform init in ±sqrt(6/(rows+cols)).
+  static Mat Xavier(int r, int c, Rng& rng);
+};
+
+/// out[r] (+)= W[r,:] · x ; `accumulate` keeps existing out contents.
+void MatVec(const Mat& w, const float* x, float* out, bool accumulate);
+
+/// out[c] (+)= W[:,c] · x — transposed product, used in backprop.
+void MatTVec(const Mat& w, const float* x, float* out, bool accumulate);
+
+/// G += a bᵀ (outer-product gradient accumulation).
+void AddOuter(Mat& g, const float* a, const float* b);
+
+/// Adam optimizer state for one parameter buffer.
+class Adam {
+ public:
+  Adam(size_t size, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+
+  /// Applies one update of `grad` to `param` (both `size()` long).
+  void Step(float* param, const float* grad);
+
+  size_t size() const { return m_.size(); }
+
+ private:
+  std::vector<float> m_;
+  std::vector<float> v_;
+  double lr_, beta1_, beta2_, eps_;
+  long step_ = 0;
+};
+
+}  // namespace alphaevolve::nn
+
+#endif  // ALPHAEVOLVE_NN_TENSOR_H_

@@ -1,0 +1,133 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/stats.h"
+
+namespace alphaevolve::nn {
+
+ExperimentOptions ExperimentOptions::PaperGrid() {
+  ExperimentOptions o;
+  o.seq_lens = {4, 8, 16, 32};
+  o.hiddens = {32, 64, 128, 256};
+  o.alphas = {0.01, 0.1, 1.0, 10.0};
+  o.epochs = 8;
+  return o;
+}
+
+TestScores ScoreOnSplit(const market::Dataset& dataset, market::Split split,
+                        const std::vector<std::vector<double>>& preds,
+                        const eval::PortfolioConfig& portfolio) {
+  const auto& dates = dataset.dates(split);
+  TestScores s;
+  s.ic = eval::InformationCoefficient(dataset, dates, preds);
+  s.sharpe = eval::SharpeRatio(
+      eval::PortfolioReturns(dataset, dates, preds, portfolio));
+  return s;
+}
+
+namespace {
+
+/// Mean/std over per-seed scores for both splits.
+void Aggregate(const std::vector<TestScores>& test_scores,
+               const std::vector<TestScores>& valid_scores,
+               ModelExperimentResult* out) {
+  std::vector<double> ics, sharpes;
+  for (const auto& s : test_scores) {
+    ics.push_back(s.ic);
+    sharpes.push_back(s.sharpe);
+  }
+  out->ic_mean = Mean(ics);
+  out->ic_std = StdDev(ics);
+  out->sharpe_mean = Mean(sharpes);
+  out->sharpe_std = StdDev(sharpes);
+  ics.clear();
+  sharpes.clear();
+  for (const auto& s : valid_scores) {
+    ics.push_back(s.ic);
+    sharpes.push_back(s.sharpe);
+  }
+  out->valid_ic_mean = Mean(ics);
+  out->valid_ic_std = StdDev(ics);
+  out->valid_sharpe_mean = Mean(sharpes);
+  out->valid_sharpe_std = StdDev(sharpes);
+}
+
+}  // namespace
+
+ModelExperimentResult RunRankLstmExperiment(const market::Dataset& dataset,
+                                            const ExperimentOptions& options) {
+  ModelExperimentResult result;
+  result.best_valid_ic = -2.0;
+
+  // Grid search on the validation split (one fixed seed, as in the paper's
+  // protocol of selecting hyper-parameters before the 5-seed report).
+  for (int seq_len : options.seq_lens) {
+    for (int hidden : options.hiddens) {
+      for (double alpha : options.alphas) {
+        RankLstmConfig cfg;
+        cfg.seq_len = seq_len;
+        cfg.hidden = hidden;
+        cfg.alpha = alpha;
+        cfg.epochs = options.epochs;
+        cfg.seed = 1;
+        RankLstm model(dataset, cfg);
+        model.Train();
+        const auto preds = model.Predict(dataset.dates(market::Split::kValid));
+        const double valid_ic = eval::InformationCoefficient(
+            dataset, dataset.dates(market::Split::kValid), preds);
+        if (valid_ic > result.best_valid_ic) {
+          result.best_valid_ic = valid_ic;
+          result.best_config = cfg;
+        }
+      }
+    }
+  }
+
+  std::vector<TestScores> test_scores, valid_scores;
+  for (int seed = 0; seed < options.num_seeds; ++seed) {
+    RankLstmConfig cfg = result.best_config;
+    cfg.seed = static_cast<uint64_t>(100 + seed);
+    RankLstm model(dataset, cfg);
+    model.Train();
+    test_scores.push_back(ScoreOnSplit(
+        dataset, market::Split::kTest,
+        model.Predict(dataset.dates(market::Split::kTest)),
+        options.portfolio));
+    valid_scores.push_back(ScoreOnSplit(
+        dataset, market::Split::kValid,
+        model.Predict(dataset.dates(market::Split::kValid)),
+        options.portfolio));
+  }
+  Aggregate(test_scores, valid_scores, &result);
+  return result;
+}
+
+ModelExperimentResult RunRsrExperiment(const market::Dataset& dataset,
+                                       const RankLstmConfig& base,
+                                       const ExperimentOptions& options) {
+  ModelExperimentResult result;
+  result.best_config = base;
+  std::vector<TestScores> test_scores, valid_scores;
+  for (int seed = 0; seed < options.num_seeds; ++seed) {
+    RsrConfig cfg;
+    cfg.base = base;
+    cfg.base.seed = static_cast<uint64_t>(200 + seed);
+    cfg.base.epochs = options.epochs;
+    Rsr model(dataset, cfg);
+    model.Train();
+    test_scores.push_back(ScoreOnSplit(
+        dataset, market::Split::kTest,
+        model.Predict(dataset.dates(market::Split::kTest)),
+        options.portfolio));
+    valid_scores.push_back(ScoreOnSplit(
+        dataset, market::Split::kValid,
+        model.Predict(dataset.dates(market::Split::kValid)),
+        options.portfolio));
+  }
+  Aggregate(test_scores, valid_scores, &result);
+  return result;
+}
+
+}  // namespace alphaevolve::nn

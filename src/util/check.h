@@ -1,0 +1,49 @@
+#ifndef ALPHAEVOLVE_UTIL_CHECK_H_
+#define ALPHAEVOLVE_UTIL_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace alphaevolve {
+
+/// Error thrown by AE_CHECK when a precondition or invariant is violated.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace internal
+
+}  // namespace alphaevolve
+
+/// Runtime invariant check that throws alphaevolve::CheckError on failure.
+/// Always active (not compiled out in release): the library favours loud
+/// failures over silent corruption, matching database-engine practice.
+#define AE_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::alphaevolve::internal::CheckFail(#expr, __FILE__, __LINE__,   \
+                                         std::string());              \
+    }                                                                 \
+  } while (false)
+
+#define AE_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream ae_check_os_;                                \
+      ae_check_os_ << msg;                                            \
+      ::alphaevolve::internal::CheckFail(#expr, __FILE__, __LINE__,   \
+                                         ae_check_os_.str());         \
+    }                                                                 \
+  } while (false)
+
+#endif  // ALPHAEVOLVE_UTIL_CHECK_H_

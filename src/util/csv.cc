@@ -1,0 +1,51 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace alphaevolve {
+namespace {
+
+std::string EscapeField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), num_columns_(header.size()) {
+  AE_CHECK_MSG(out_.good(), "cannot open " << path);
+  WriteRow(header);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  AE_CHECK(fields.size() == num_columns_);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& fields) {
+  std::vector<std::string> strs;
+  strs.reserve(fields.size());
+  for (double f : fields) {
+    std::ostringstream os;
+    os.precision(10);
+    os << f;
+    strs.push_back(os.str());
+  }
+  WriteRow(strs);
+}
+
+}  // namespace alphaevolve

@@ -1,0 +1,31 @@
+#ifndef ALPHAEVOLVE_UTIL_CSV_H_
+#define ALPHAEVOLVE_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace alphaevolve {
+
+/// Minimal CSV writer used by the benchmark harnesses to dump series
+/// (e.g., Figure 6 trajectories) alongside the printed tables.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws CheckError if
+  /// the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; fields are quoted only if they contain a comma.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with full precision.
+  void WriteRow(const std::vector<double>& fields);
+
+ private:
+  std::ofstream out_;
+  size_t num_columns_;
+};
+
+}  // namespace alphaevolve
+
+#endif  // ALPHAEVOLVE_UTIL_CSV_H_

@@ -1,0 +1,33 @@
+#ifndef ALPHAEVOLVE_UTIL_TABLE_H_
+#define ALPHAEVOLVE_UTIL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace alphaevolve {
+
+/// Fixed-column ASCII table printer. The benchmark binaries use it to print
+/// the same rows the paper's tables report.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Adds a row; must have exactly as many fields as there are columns.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double like the paper's tables (6 decimal places), or "NA".
+  static std::string Num(double v);
+  static std::string Na();
+
+  /// Renders the table with a header rule to the stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace alphaevolve
+
+#endif  // ALPHAEVOLVE_UTIL_TABLE_H_

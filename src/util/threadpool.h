@@ -1,0 +1,54 @@
+#ifndef ALPHAEVOLVE_UTIL_THREADPOOL_H_
+#define ALPHAEVOLVE_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace alphaevolve {
+
+/// Fixed-size worker pool for coarse-grained parallelism (independent search
+/// rounds, grid-search cells, seed sweeps). Tasks are plain
+/// `std::function<void()>`; exceptions escaping a task terminate the process
+/// (tasks are expected to handle their own errors).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitAll();
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace alphaevolve
+
+#endif  // ALPHAEVOLVE_UTIL_THREADPOOL_H_

@@ -1,0 +1,83 @@
+#include "core/alpha_library.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/pruning.h"
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace alphaevolve::core {
+namespace {
+
+class AlphaLibraryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new market::Dataset(testutil::MakeDataset(10, 100));
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+  static market::Dataset* dataset_;
+};
+
+market::Dataset* AlphaLibraryTest::dataset_ = nullptr;
+
+TEST_F(AlphaLibraryTest, CatalogueHasUniqueNames) {
+  const auto lib = StandardAlphaLibrary(13);
+  ASSERT_GE(lib.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& a : lib) {
+    EXPECT_TRUE(names.insert(a.name).second) << "duplicate " << a.name;
+    EXPECT_FALSE(a.description.empty());
+  }
+}
+
+TEST_F(AlphaLibraryTest, AllValidateAgainstDefaultLimits) {
+  const ProgramLimits limits;
+  for (const auto& a : StandardAlphaLibrary(13)) {
+    EXPECT_EQ(a.program.Validate(limits), "") << a.name;
+  }
+}
+
+TEST_F(AlphaLibraryTest, NoneArePrunedAsRedundant) {
+  const ProgramLimits limits;
+  for (const auto& a : StandardAlphaLibrary(13)) {
+    EXPECT_FALSE(PruneRedundant(a.program, limits).redundant) << a.name;
+  }
+}
+
+TEST_F(AlphaLibraryTest, AllEvaluateToFiniteMetrics) {
+  Evaluator evaluator(*dataset_, EvaluatorConfig{});
+  for (const auto& a : StandardAlphaLibrary(13)) {
+    const AlphaMetrics m = evaluator.Evaluate(a.program, 1);
+    ASSERT_TRUE(m.valid) << a.name;
+    EXPECT_TRUE(std::isfinite(m.ic_valid)) << a.name;
+    EXPECT_TRUE(std::isfinite(m.sharpe_test)) << a.name;
+  }
+}
+
+TEST_F(AlphaLibraryTest, AllSerializeRoundTrip) {
+  for (const auto& a : StandardAlphaLibrary(13)) {
+    EXPECT_EQ(AlphaProgram::FromString(a.program.ToString()), a.program)
+        << a.name;
+  }
+}
+
+TEST_F(AlphaLibraryTest, MomentumAndReversalDisagree) {
+  // Sanity: momentum and cross-sectional reversal should produce strongly
+  // negatively correlated cross-sectional rankings.
+  Evaluator evaluator(*dataset_, EvaluatorConfig{});
+  const auto mom = evaluator.Evaluate(MakeMomentumAlpha(13).program, 1);
+  const auto rev =
+      evaluator.Evaluate(MakeCrossSectionalReversalAlpha(13).program, 1);
+  ASSERT_TRUE(mom.valid && rev.valid);
+  // Their validation portfolio returns should be anti-correlated.
+  double corr = eval::PortfolioCorrelation(mom.valid_portfolio_returns,
+                                           rev.valid_portfolio_returns);
+  EXPECT_LT(corr, -0.5);
+}
+
+}  // namespace
+}  // namespace alphaevolve::core

@@ -1,0 +1,124 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/portfolio.h"
+#include "test_util.h"
+
+namespace alphaevolve::eval {
+namespace {
+
+TEST(PortfolioConfigTest, ResolveTopN) {
+  PortfolioConfig cfg;
+  EXPECT_EQ(cfg.ResolveTopN(100), 10);   // auto: K/20
+  EXPECT_EQ(cfg.ResolveTopN(10), 1);
+  cfg.top_n = 50;
+  EXPECT_EQ(cfg.ResolveTopN(1026), 50); // paper setting
+  EXPECT_EQ(cfg.ResolveTopN(40), 20);   // clamped to half the universe
+}
+
+TEST(PortfolioTest, LongShortReturnsHandComputed) {
+  // 8 stocks; predictions rank them 0..7; top-2 long, bottom-2 short.
+  const auto ds = testutil::MakeDataset(8, 90);
+  const auto& dates = ds.dates(market::Split::kValid);
+  std::vector<std::vector<double>> preds;
+  for (size_t d = 0; d < dates.size(); ++d) {
+    std::vector<double> row;
+    for (int k = 0; k < 8; ++k) row.push_back(k);  // stock 7 ranked highest
+    preds.push_back(row);
+  }
+  PortfolioConfig cfg;
+  cfg.top_n = 2;
+  const auto returns = PortfolioReturns(ds, dates, preds, cfg);
+  ASSERT_EQ(returns.size(), dates.size());
+  for (size_t d = 0; d < dates.size(); ++d) {
+    const double expect =
+        0.5 * ((ds.Label(7, dates[d]) + ds.Label(6, dates[d])) / 2.0 -
+               (ds.Label(0, dates[d]) + ds.Label(1, dates[d])) / 2.0);
+    EXPECT_NEAR(returns[d], expect, 1e-12);
+  }
+}
+
+TEST(PortfolioTest, PerfectForesightBeatsInverted) {
+  const auto ds = testutil::MakeDataset(8, 90);
+  const auto& dates = ds.dates(market::Split::kValid);
+  std::vector<std::vector<double>> oracle, inverted;
+  for (int date : dates) {
+    std::vector<double> row;
+    for (int k = 0; k < ds.num_tasks(); ++k) row.push_back(ds.Label(k, date));
+    oracle.push_back(row);
+    for (auto& v : row) v = -v;
+    inverted.push_back(row);
+  }
+  PortfolioConfig cfg;
+  cfg.top_n = 2;
+  const auto r_oracle = PortfolioReturns(ds, dates, oracle, cfg);
+  const auto r_inv = PortfolioReturns(ds, dates, inverted, cfg);
+  for (size_t d = 0; d < dates.size(); ++d) {
+    EXPECT_GE(r_oracle[d], 0.0);  // oracle long-short can't lose
+    EXPECT_DOUBLE_EQ(r_oracle[d], -r_inv[d]);
+  }
+  EXPECT_GT(SharpeRatio(r_oracle), SharpeRatio(r_inv));
+}
+
+TEST(PortfolioTest, NavPathCompounds) {
+  const auto nav = NavPath({0.1, -0.05, 0.2});
+  ASSERT_EQ(nav.size(), 4u);
+  EXPECT_DOUBLE_EQ(nav[0], 1.0);
+  EXPECT_DOUBLE_EQ(nav[1], 1.1);
+  EXPECT_NEAR(nav[2], 1.1 * 0.95, 1e-12);
+  EXPECT_NEAR(nav[3], 1.1 * 0.95 * 1.2, 1e-12);
+}
+
+TEST(MetricsTest, SharpeOfConstantPositiveReturnsIsZeroVol) {
+  // Zero volatility → convention: 0.
+  EXPECT_DOUBLE_EQ(SharpeRatio({0.01, 0.01, 0.01}), 0.0);
+  EXPECT_DOUBLE_EQ(SharpeRatio({}), 0.0);
+  EXPECT_DOUBLE_EQ(SharpeRatio({0.01}), 0.0);
+}
+
+TEST(MetricsTest, SharpeKnownSeries) {
+  // mean = 0.01, sample std = 0.01 → SR = 1 * sqrt(252).
+  const std::vector<double> r{0.0, 0.01, 0.02};
+  EXPECT_NEAR(SharpeRatio(r), std::sqrt(252.0), 1e-9);
+}
+
+TEST(MetricsTest, SharpeSignFollowsMean) {
+  EXPECT_LT(SharpeRatio({-0.01, -0.02, 0.001}), 0.0);
+  EXPECT_GT(SharpeRatio({0.01, 0.02, -0.001}), 0.0);
+}
+
+TEST(MetricsTest, InformationCoefficientOracleIsOne) {
+  const auto ds = testutil::MakeDataset(8, 90);
+  const auto& dates = ds.dates(market::Split::kValid);
+  std::vector<std::vector<double>> oracle;
+  for (int date : dates) {
+    std::vector<double> row;
+    for (int k = 0; k < ds.num_tasks(); ++k) row.push_back(ds.Label(k, date));
+    oracle.push_back(row);
+  }
+  EXPECT_NEAR(InformationCoefficient(ds, dates, oracle), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, InformationCoefficientConstantPredictionIsZero) {
+  const auto ds = testutil::MakeDataset(8, 90);
+  const auto& dates = ds.dates(market::Split::kValid);
+  std::vector<std::vector<double>> preds(
+      dates.size(), std::vector<double>(static_cast<size_t>(ds.num_tasks()),
+                                        3.14));
+  EXPECT_DOUBLE_EQ(InformationCoefficient(ds, dates, preds), 0.0);
+}
+
+TEST(MetricsTest, PortfolioCorrelationMatchesPearson) {
+  const std::vector<double> a{0.01, -0.02, 0.03, 0.0};
+  const std::vector<double> b{0.02, -0.04, 0.06, 0.0};
+  EXPECT_NEAR(PortfolioCorrelation(a, b), 1.0, 1e-12);
+  std::vector<double> c;
+  for (double v : a) c.push_back(-v);
+  EXPECT_NEAR(PortfolioCorrelation(a, c), -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace alphaevolve::eval

@@ -1,0 +1,362 @@
+#include "core/executor.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/generators.h"
+#include "market/features.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace alphaevolve::core {
+namespace {
+
+using market::Split;
+
+Instruction I(Op op, int out, int in1 = 0, int in2 = 0) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.in1 = static_cast<uint8_t>(in1);
+  ins.in2 = static_cast<uint8_t>(in2);
+  return ins;
+}
+
+Instruction Const(int out, double v) {
+  Instruction ins;
+  ins.op = Op::kScalarConst;
+  ins.out = static_cast<uint8_t>(out);
+  ins.imm0 = v;
+  return ins;
+}
+
+Instruction GetScalar(int out, int feature, int day) {
+  Instruction ins;
+  ins.op = Op::kGetScalar;
+  ins.out = static_cast<uint8_t>(out);
+  ins.idx0 = static_cast<uint8_t>(feature);
+  ins.idx1 = static_cast<uint8_t>(day);
+  return ins;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new market::Dataset(testutil::MakeDataset());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static market::Dataset* dataset_;
+};
+
+market::Dataset* ExecutorTest::dataset_ = nullptr;
+
+TEST_F(ExecutorTest, ConstantPrediction) {
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(Const(kPredictionScalar, 0.75));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  ASSERT_EQ(r.valid_preds.size(), dataset_->dates(Split::kValid).size());
+  for (const auto& row : r.valid_preds) {
+    for (double p : row) EXPECT_DOUBLE_EQ(p, 0.75);
+  }
+}
+
+TEST_F(ExecutorTest, GetScalarReadsInputMatrix) {
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(kPredictionScalar, market::kClose, w - 1));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  const auto& dates = dataset_->dates(Split::kValid);
+  for (size_t d = 0; d < dates.size(); ++d) {
+    for (int k = 0; k < dataset_->num_tasks(); ++k) {
+      const double expect =
+          static_cast<double>(dataset_->FeatureRow(k, dates[d])[market::kClose]);
+      EXPECT_NEAR(r.valid_preds[d][static_cast<size_t>(k)], expect, 1e-12);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, ScalarArithmeticPipeline) {
+  // s1 = (close + close) * 0.5 == close.
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(Const(2, 0.5));
+  prog.predict.push_back(GetScalar(3, market::kClose, w - 1));
+  prog.predict.push_back(I(Op::kScalarAdd, 4, 3, 3));
+  prog.predict.push_back(I(Op::kScalarMul, kPredictionScalar, 4, 2));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  const auto& dates = dataset_->dates(Split::kValid);
+  for (size_t d = 0; d < dates.size(); ++d) {
+    const double expect = static_cast<double>(
+        dataset_->FeatureRow(0, dates[d])[market::kClose]);
+    EXPECT_NEAR(r.valid_preds[d][0], expect, 1e-12);
+  }
+}
+
+TEST_F(ExecutorTest, MemoryPersistsAcrossDatesAsParameters) {
+  // Update counts training dates into s2; inference then predicts that
+  // constant — the "parameter" mechanism of the paper.
+  AlphaProgram prog;
+  prog.setup.push_back(Const(4, 1.0));
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 2, 2));
+  prog.update.push_back(I(Op::kScalarAdd, 2, 2, 4));  // s2 += 1
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  const double n_train =
+      static_cast<double>(dataset_->dates(Split::kTrain).size());
+  // Prediction = 2 * s2 (after all training updates).
+  for (const auto& row : r.valid_preds) {
+    for (double p : row) EXPECT_DOUBLE_EQ(p, 2.0 * n_train);
+  }
+}
+
+TEST_F(ExecutorTest, MultipleEpochsMultiplyUpdates) {
+  AlphaProgram prog;
+  prog.setup.push_back(Const(4, 1.0));
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 2, 2));
+  prog.update.push_back(I(Op::kScalarAdd, 2, 2, 4));
+
+  ExecutorConfig cfg;
+  cfg.train_epochs = 3;
+  Executor exec(*dataset_, cfg);
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  const double n_train =
+      static_cast<double>(dataset_->dates(Split::kTrain).size());
+  EXPECT_DOUBLE_EQ(r.valid_preds[0][0], 2.0 * 3.0 * n_train);
+}
+
+TEST_F(ExecutorTest, UpdateSeesLabelPredictSeesYesterdaysLabel) {
+  // Predict: s1 = s5; Update: s5 = s0. During inference there is no update,
+  // so every inference prediction equals the *last training* label.
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 5, 6));  // s6=0
+  prog.update.push_back(I(Op::kScalarAdd, 5, kLabelScalar, 6));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  const int last_train_date = dataset_->dates(Split::kTrain).back();
+  for (int k = 0; k < dataset_->num_tasks(); ++k) {
+    const double expect = dataset_->Label(k, last_train_date);
+    for (const auto& row : r.valid_preds) {
+      EXPECT_DOUBLE_EQ(row[static_cast<size_t>(k)], expect);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, RankOpProducesNormalizedCrossSectionalRanks) {
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(3, market::kClose, w - 1));
+  prog.predict.push_back(I(Op::kRank, kPredictionScalar, 3));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  const auto& dates = dataset_->dates(Split::kValid);
+  const int K = dataset_->num_tasks();
+  for (size_t d = 0; d < dates.size(); ++d) {
+    // Recompute expected normalized ranks of the normalized closes.
+    std::vector<double> closes;
+    for (int k = 0; k < K; ++k) {
+      closes.push_back(static_cast<double>(
+          dataset_->FeatureRow(k, dates[d])[market::kClose]));
+    }
+    const auto ranks = RanksWithTies(closes);  // 1-based
+    for (int k = 0; k < K; ++k) {
+      const double expect = (ranks[static_cast<size_t>(k)] - 1.0) / (K - 1);
+      EXPECT_NEAR(r.valid_preds[d][static_cast<size_t>(k)], expect, 1e-9);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, RelationDemeanZeroSumWithinSector) {
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(3, market::kClose, w - 1));
+  Instruction demean = I(Op::kRelationDemean, kPredictionScalar, 3);
+  demean.idx0 = 0;  // sector
+  prog.predict.push_back(demean);
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  for (const auto& row : r.valid_preds) {
+    for (int g = 0; g < dataset_->num_sector_groups(); ++g) {
+      double sum = 0.0;
+      for (int k : dataset_->sector_tasks(g)) {
+        sum += row[static_cast<size_t>(k)];
+      }
+      EXPECT_NEAR(sum, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, RelationRankStaysWithinGroupBounds) {
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(3, market::kClose, w - 1));
+  Instruction rr = I(Op::kRelationRank, kPredictionScalar, 3);
+  rr.idx0 = 1;  // industry
+  prog.predict.push_back(rr);
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  for (const auto& row : r.valid_preds) {
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+    // Each industry group must contain a 0 and a 1 (min and max member)
+    // when the group has >= 2 members with distinct values.
+    for (int g = 0; g < dataset_->num_industry_groups(); ++g) {
+      const auto& members = dataset_->industry_tasks(g);
+      if (members.size() < 2) continue;
+      double lo = 2.0, hi = -1.0;
+      for (int k : members) {
+        lo = std::min(lo, row[static_cast<size_t>(k)]);
+        hi = std::max(hi, row[static_cast<size_t>(k)]);
+      }
+      EXPECT_DOUBLE_EQ(lo, 0.0);
+      EXPECT_DOUBLE_EQ(hi, 1.0);
+    }
+  }
+}
+
+TEST_F(ExecutorTest, TsRankOfMonotoneSeriesApproachesOne) {
+  // Close paths drift upward; normalized close at the latest day out-ranks
+  // its recent history most of the time. Use a pure-trend panel for
+  // determinism.
+  auto close = [](int k, int t) { return 10.0 + t + k; };
+  auto ds = market::Dataset::Build(
+      testutil::MakePanel(6, 90, close, [](int) { return 0; }),
+      market::DatasetConfig{});
+
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(3, market::kClose, ds.window() - 1));
+  Instruction ts = I(Op::kTsRank, kPredictionScalar, 3);
+  ts.idx0 = 5;
+  prog.predict.push_back(ts);
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(ds, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  for (const auto& row : r.valid_preds) {
+    for (double p : row) EXPECT_DOUBLE_EQ(p, 1.0);
+  }
+}
+
+TEST_F(ExecutorTest, NonFinitePredictionInvalidatesRun) {
+  AlphaProgram prog;
+  prog.setup.push_back(Const(2, 0.0));
+  prog.predict.push_back(I(Op::kScalarReciprocal, kPredictionScalar, 2));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  EXPECT_FALSE(r.valid);
+}
+
+TEST_F(ExecutorTest, RandomOpsDeterministicPerSeed) {
+  AlphaProgram prog;
+  Instruction gauss;
+  gauss.op = Op::kVectorGaussian;
+  gauss.out = 2;
+  gauss.imm0 = 0.0;
+  gauss.imm1 = 1.0;
+  prog.setup.push_back(gauss);
+  prog.predict.push_back(I(Op::kVectorMean, kPredictionScalar, 2));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r1 = exec.Run(prog, 99);
+  const auto r2 = exec.Run(prog, 99);
+  const auto r3 = exec.Run(prog, 100);
+  ASSERT_TRUE(r1.valid && r2.valid && r3.valid);
+  EXPECT_EQ(r1.valid_preds, r2.valid_preds);
+  EXPECT_NE(r1.valid_preds, r3.valid_preds);
+}
+
+TEST_F(ExecutorTest, DateLimitsTruncateRun) {
+  AlphaProgram prog;
+  prog.setup.push_back(Const(4, 1.0));
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 2, 2));
+  prog.update.push_back(I(Op::kScalarAdd, 2, 2, 4));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1, /*include_test=*/false,
+                          /*limit_train=*/5, /*limit_valid=*/3);
+  ASSERT_TRUE(r.valid);
+  ASSERT_EQ(r.valid_preds.size(), 3u);
+  EXPECT_TRUE(r.test_preds.empty());
+  EXPECT_DOUBLE_EQ(r.valid_preds[0][0], 10.0);  // 2 * 5 training updates
+}
+
+TEST_F(ExecutorTest, MatrixOpsComposeCorrectly) {
+  // s1 = mean(m0 · m0ᵀ)[0,:] via matmul + transpose + mean_axis.
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(I(Op::kMatrixTranspose, 1, 0));
+  prog.predict.push_back(I(Op::kMatrixMatMul, 2, 0, 1));
+  Instruction mean_axis = I(Op::kMatrixMeanAxis, 3, 2);
+  mean_axis.idx0 = 1;
+  prog.predict.push_back(mean_axis);
+  prog.predict.push_back(I(Op::kVectorMean, kPredictionScalar, 3));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor exec(*dataset_, ExecutorConfig{});
+  const auto r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+
+  // Cross-check one entry by hand.
+  const int w = dataset_->window();
+  const int date = dataset_->dates(Split::kValid)[0];
+  std::vector<double> x(static_cast<size_t>(w) * w);
+  dataset_->FillInputMatrix(0, date, x.data());
+  double total = 0.0;
+  for (int i = 0; i < w; ++i) {
+    for (int j = 0; j < w; ++j) {
+      double acc = 0.0;
+      for (int q = 0; q < w; ++q) {
+        acc += x[static_cast<size_t>(i) * w + q] *
+               x[static_cast<size_t>(j) * w + q];
+      }
+      total += acc;
+    }
+  }
+  EXPECT_NEAR(r.valid_preds[0][0], total / (w * w), 1e-9);
+}
+
+}  // namespace
+}  // namespace alphaevolve::core

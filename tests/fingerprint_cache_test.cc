@@ -1,0 +1,78 @@
+#include "core/fingerprint_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/generators.h"
+#include "test_util.h"
+
+namespace alphaevolve::core {
+namespace {
+
+TEST(FingerprintCacheTest, LookupMissThenHit) {
+  FingerprintCache cache;
+  EXPECT_FALSE(cache.Lookup(42).has_value());
+  cache.Insert(42, 0.125);
+  ASSERT_TRUE(cache.Lookup(42).has_value());
+  EXPECT_DOUBLE_EQ(*cache.Lookup(42), 0.125);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FingerprintCacheTest, InsertOverwrites) {
+  FingerprintCache cache;
+  cache.Insert(7, 1.0);
+  cache.Insert(7, -1.0);
+  EXPECT_DOUBLE_EQ(*cache.Lookup(7), -1.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FingerprintCacheTest, ClearEmpties) {
+  FingerprintCache cache;
+  cache.Insert(1, 0.5);
+  cache.Insert(2, 0.6);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+}
+
+TEST(ProbeFingerprintTest, DeterministicAndBehaviourSensitive) {
+  const auto ds = testutil::MakeDataset(8, 90);
+  Evaluator evaluator(ds, EvaluatorConfig{});
+  const AlphaProgram expert = MakeExpertAlpha(ds.window());
+
+  const uint64_t a = evaluator.ProbeFingerprint(expert, 1);
+  const uint64_t b = evaluator.ProbeFingerprint(expert, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, 0u);
+
+  // A behaviour-identical program with extra dead code probes equal.
+  AlphaProgram padded = expert;
+  Instruction dead;
+  dead.op = Op::kScalarAdd;
+  dead.out = 9;
+  dead.in1 = 3;
+  dead.in2 = 4;
+  padded.predict.insert(padded.predict.begin() + 2, dead);
+  EXPECT_EQ(evaluator.ProbeFingerprint(padded, 1), a);
+
+  // A behaviour-changing edit probes different.
+  AlphaProgram changed = expert;
+  changed.predict.back().op = Op::kScalarMul;  // s1 = s5 * s9, not /
+  EXPECT_NE(evaluator.ProbeFingerprint(changed, 1), a);
+
+  // An invalid (divergent) program maps to the shared zero bucket.
+  AlphaProgram divergent = MakeNoOpAlpha();
+  Instruction zero;
+  zero.op = Op::kScalarConst;
+  zero.out = 2;
+  zero.imm0 = 0.0;
+  Instruction recip;
+  recip.op = Op::kScalarReciprocal;
+  recip.out = kPredictionScalar;
+  recip.in1 = 2;
+  divergent.predict = {zero, recip};
+  EXPECT_EQ(evaluator.ProbeFingerprint(divergent, 1), 0u);
+}
+
+}  // namespace
+}  // namespace alphaevolve::core

@@ -1,0 +1,111 @@
+#include "core/mutator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/generators.h"
+
+namespace alphaevolve::core {
+namespace {
+
+TEST(MutatorTest, IdentityWhenMutateProbZero) {
+  MutatorConfig cfg;
+  cfg.mutate_prob = 0.0;
+  const Mutator mutator(cfg);
+  Rng rng(1);
+  const AlphaProgram parent = MakeExpertAlpha(13);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(mutator.Mutate(parent, rng), parent);
+  }
+}
+
+TEST(MutatorTest, MutationChangesProgramMostOfTheTime) {
+  const Mutator mutator{MutatorConfig{}};  // mutate_prob = 0.9
+  Rng rng(2);
+  const AlphaProgram parent = MakeExpertAlpha(13);
+  int changed = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (mutator.Mutate(parent, rng) != parent) ++changed;
+  }
+  // ~90% should differ (a tiny fraction of mutations may be no-ops, e.g.
+  // re-drawing an identical operand).
+  EXPECT_GT(changed, 150);
+}
+
+TEST(MutatorTest, RandomInstructionRespectsComponentPolicy) {
+  const Mutator mutator{MutatorConfig{}};
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const Instruction ins =
+        mutator.RandomInstruction(ComponentId::kSetup, rng);
+    EXPECT_TRUE(OpAllowedIn(ins.op, ComponentId::kSetup, true))
+        << ins.ToString();
+    EXPECT_NE(ins.op, Op::kNoOp);
+  }
+}
+
+TEST(MutatorTest, RandomInstructionExcludesRelationOpsWhenDisabled) {
+  MutatorConfig cfg;
+  cfg.allow_relation_ops = false;
+  const Mutator mutator(cfg);
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const Instruction ins =
+        mutator.RandomInstruction(ComponentId::kPredict, rng);
+    EXPECT_FALSE(GetOpInfo(ins.op).is_relation) << ins.ToString();
+  }
+}
+
+// The central safety property: any chain of mutations keeps the program
+// inside the search-space limits.
+class MutatorPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutatorPropertySweep, MutationChainsStayValid) {
+  MutatorConfig cfg;
+  const Mutator mutator(cfg);
+  Rng rng(GetParam());
+  AlphaProgram prog = MakeInitialAlpha(
+      static_cast<InitKind>(GetParam() % 4), mutator, rng);
+  for (int step = 0; step < 300; ++step) {
+    prog = mutator.Mutate(prog, rng);
+    const std::string err = prog.Validate(cfg.limits, cfg.allow_relation_ops);
+    ASSERT_EQ(err, "") << "step " << step << ": " << err;
+  }
+}
+
+TEST_P(MutatorPropertySweep, RandomProgramsAreValid) {
+  MutatorConfig cfg;
+  const Mutator mutator(cfg);
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const AlphaProgram prog = mutator.RandomProgram(rng);
+    EXPECT_EQ(prog.Validate(cfg.limits, cfg.allow_relation_ops), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutatorPropertySweep,
+                         ::testing::Range(uint64_t{0}, uint64_t{10}));
+
+TEST(MutatorTest, InsertRemoveRespectsBounds) {
+  MutatorConfig cfg;
+  cfg.w_randomize_one = 0.0;
+  cfg.w_randomize_component = 0.0;
+  cfg.w_insert_remove = 1.0;
+  cfg.mutate_prob = 1.0;
+  const Mutator mutator(cfg);
+  Rng rng(5);
+  AlphaProgram prog = MakeNoOpAlpha();
+  for (int i = 0; i < 2000; ++i) {
+    prog = mutator.Mutate(prog, rng);
+    for (int ci = 0; ci < kNumComponents; ++ci) {
+      const auto c = static_cast<ComponentId>(ci);
+      const int n = static_cast<int>(prog.component(c).size());
+      ASSERT_GE(n, cfg.limits.min_instructions[ci]);
+      ASSERT_LE(n, cfg.limits.max_instructions[ci]);
+    }
+  }
+  // With enough steps the program should have grown well beyond minimal.
+  EXPECT_GT(prog.TotalInstructions(), 10);
+}
+
+}  // namespace
+}  // namespace alphaevolve::core

@@ -1,0 +1,278 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/rank_lstm.h"
+#include "nn/rsr.h"
+#include "nn/tensor.h"
+#include "nn/trainer.h"
+#include "test_util.h"
+
+namespace alphaevolve::nn {
+namespace {
+
+TEST(TensorTest, MatVecHandComputed) {
+  Mat w(2, 3);
+  // [[1,2,3],[4,5,6]]
+  for (int i = 0; i < 6; ++i) w.data[static_cast<size_t>(i)] = i + 1.f;
+  const float x[3] = {1.f, 0.f, -1.f};
+  float out[2] = {10.f, 20.f};
+  MatVec(w, x, out, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(out[0], -2.f);
+  EXPECT_FLOAT_EQ(out[1], -2.f);
+  MatVec(w, x, out, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(out[0], -4.f);
+}
+
+TEST(TensorTest, MatTVecIsTranspose) {
+  Mat w(2, 3);
+  for (int i = 0; i < 6; ++i) w.data[static_cast<size_t>(i)] = i + 1.f;
+  const float x[2] = {1.f, 2.f};
+  float out[3];
+  MatTVec(w, x, out, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(out[0], 1.f + 8.f);
+  EXPECT_FLOAT_EQ(out[1], 2.f + 10.f);
+  EXPECT_FLOAT_EQ(out[2], 3.f + 12.f);
+}
+
+TEST(TensorTest, AddOuterAccumulates) {
+  Mat g(2, 2);
+  const float a[2] = {1.f, 2.f};
+  const float b[2] = {3.f, 4.f};
+  AddOuter(g, a, b);
+  AddOuter(g, a, b);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 6.f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 16.f);
+}
+
+TEST(TensorTest, AdamMinimizesQuadratic) {
+  // minimize f(x) = (x - 3)^2 from x = 0.
+  float x = 0.f;
+  Adam adam(1, /*lr=*/0.1);
+  for (int i = 0; i < 500; ++i) {
+    const float grad = 2.f * (x - 3.f);
+    adam.Step(&x, &grad);
+  }
+  EXPECT_NEAR(x, 3.f, 0.05f);
+}
+
+TEST(LossTest, PointwiseOnlyMatchesMse) {
+  const std::vector<float> preds{1.f, 2.f};
+  const std::vector<float> labels{0.f, 4.f};
+  std::vector<float> grad(2);
+  const double loss = RankingLoss(preds, labels, /*alpha=*/0.0, grad.data());
+  EXPECT_NEAR(loss, (1.0 + 4.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad[0], 2.0 * 1.0 / 2.0, 1e-6);
+  EXPECT_NEAR(grad[1], 2.0 * -2.0 / 2.0, 1e-6);
+}
+
+TEST(LossTest, PairwiseTermPenalizesInvertedRanking) {
+  // Labels say stock 0 > stock 1, predictions say the opposite.
+  const std::vector<float> bad{0.f, 1.f};
+  const std::vector<float> good{1.f, 0.f};
+  const std::vector<float> labels{1.f, 0.f};
+  std::vector<float> grad(2);
+  const double loss_bad = RankingLoss(bad, labels, 10.0, grad.data());
+  const double loss_good = RankingLoss(good, labels, 10.0, grad.data());
+  EXPECT_GT(loss_bad, loss_good);
+}
+
+TEST(LossTest, GradientMatchesFiniteDifference) {
+  const std::vector<float> labels{0.3f, -0.1f, 0.2f, 0.0f};
+  std::vector<float> preds{0.1f, 0.4f, -0.2f, 0.05f};
+  std::vector<float> grad(4);
+  const double alpha = 2.0;
+  RankingLoss(preds, labels, alpha, grad.data());
+  const float eps = 1e-3f;
+  for (int i = 0; i < 4; ++i) {
+    std::vector<float> plus = preds, minus = preds;
+    plus[static_cast<size_t>(i)] += eps;
+    minus[static_cast<size_t>(i)] -= eps;
+    std::vector<float> scratch(4);
+    const double lp = RankingLoss(plus, labels, alpha, scratch.data());
+    const double lm = RankingLoss(minus, labels, alpha, scratch.data());
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad[static_cast<size_t>(i)], numeric, 5e-3)
+        << "component " << i;
+  }
+}
+
+TEST(LstmTest, ForwardShapesAndFiniteness) {
+  Rng rng(1);
+  Lstm lstm(3, 5, rng);
+  std::vector<float> x(4 * 3, 0.5f);
+  Lstm::Cache cache;
+  const float* h = lstm.Forward(x.data(), 4, cache);
+  EXPECT_EQ(cache.len, 4);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(std::isfinite(h[i]));
+    EXPECT_LE(std::abs(h[i]), 1.0f);  // |h| <= |tanh| * sigmoid < 1
+  }
+}
+
+TEST(LstmTest, GradientMatchesFiniteDifference) {
+  // Loss = sum(h_last). Check dL/dWx, dL/dWh, dL/db numerically.
+  Rng rng(2);
+  const int d_in = 2, h_dim = 3, len = 4;
+  Lstm lstm(d_in, h_dim, rng);
+  std::vector<float> x(static_cast<size_t>(len) * d_in);
+  for (auto& v : x) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+
+  Lstm::Cache cache;
+  Lstm::Grads grads(lstm);
+  lstm.Forward(x.data(), len, cache);
+  const std::vector<float> ones(static_cast<size_t>(h_dim), 1.f);
+  lstm.Backward(cache, ones.data(), grads);
+
+  auto loss = [&]() {
+    Lstm::Cache c;
+    const float* h = lstm.Forward(x.data(), len, c);
+    double s = 0;
+    for (int i = 0; i < h_dim; ++i) s += h[i];
+    return s;
+  };
+
+  const float eps = 1e-3f;
+  auto check_param = [&](float* param, const float* grad, size_t n,
+                         const char* name) {
+    // Spot-check a handful of entries (full sweep is slow in float).
+    for (size_t i = 0; i < n; i += std::max<size_t>(1, n / 7)) {
+      const float saved = param[i];
+      param[i] = saved + eps;
+      const double lp = loss();
+      param[i] = saved - eps;
+      const double lm = loss();
+      param[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      EXPECT_NEAR(grad[i], numeric, 2e-2)
+          << name << "[" << i << "]";
+    }
+  };
+  check_param(lstm.wx.data.data(), grads.d_wx.data.data(), lstm.wx.size(),
+              "wx");
+  check_param(lstm.wh.data.data(), grads.d_wh.data.data(), lstm.wh.size(),
+              "wh");
+  check_param(lstm.b.data(), grads.d_b.data(), lstm.b.size(), "b");
+}
+
+TEST(LstmTest, LearnsToOutputSequenceMean) {
+  // Tiny regression: target = mean of the (scalar) input sequence.
+  Rng rng(3);
+  const int len = 5;
+  Lstm lstm(1, 8, rng);
+  Mat w = Mat::Xavier(1, 8, rng);
+  Adam adam_w(w.size(), 0.01);
+  double first_loss = 0, last_loss = 0;
+  Lstm::Cache cache;
+  Lstm::Grads grads(lstm);
+  std::vector<float> dh(8);
+  for (int step = 0; step < 400; ++step) {
+    std::vector<float> x(len);
+    float target = 0;
+    for (auto& v : x) {
+      v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      target += v;
+    }
+    target /= len;
+    const float* h = lstm.Forward(x.data(), len, cache);
+    float y = 0;
+    for (int i = 0; i < 8; ++i) y += w.at(0, i) * h[i];
+    const float err = y - target;
+    const double loss = err * err;
+    if (step == 0) first_loss = loss;
+    last_loss = 0.95 * last_loss + 0.05 * loss;
+
+    grads.Zero();
+    Mat wg(1, 8);
+    for (int i = 0; i < 8; ++i) {
+      wg.at(0, i) = 2 * err * h[i];
+      dh[static_cast<size_t>(i)] = 2 * err * w.at(0, i);
+    }
+    lstm.Backward(cache, dh.data(), grads);
+    lstm.ApplyGrads(grads, 0.01);
+    adam_w.Step(w.data.data(), wg.data.data());
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+class NnModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new market::Dataset(testutil::MakeDataset(12, 130));
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+  static market::Dataset* dataset_;
+};
+
+market::Dataset* NnModelTest::dataset_ = nullptr;
+
+TEST_F(NnModelTest, RankLstmTrainsAndPredictsFinite) {
+  RankLstmConfig cfg;
+  cfg.seq_len = 4;
+  cfg.hidden = 8;
+  cfg.epochs = 2;
+  RankLstm model(*dataset_, cfg);
+  model.Train();
+  const auto preds = model.Predict(dataset_->dates(market::Split::kTest));
+  ASSERT_EQ(preds.size(), dataset_->dates(market::Split::kTest).size());
+  for (const auto& row : preds) {
+    ASSERT_EQ(static_cast<int>(row.size()), dataset_->num_tasks());
+    for (double p : row) EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST_F(NnModelTest, RankLstmDeterministicPerSeed) {
+  RankLstmConfig cfg;
+  cfg.seq_len = 4;
+  cfg.hidden = 8;
+  cfg.epochs = 1;
+  cfg.seed = 7;
+  RankLstm a(*dataset_, cfg), b(*dataset_, cfg);
+  a.Train();
+  b.Train();
+  const auto pa = a.Predict(dataset_->dates(market::Split::kValid));
+  const auto pb = b.Predict(dataset_->dates(market::Split::kValid));
+  EXPECT_EQ(pa, pb);
+}
+
+TEST_F(NnModelTest, RsrTrainsAndPredictsFinite) {
+  RsrConfig cfg;
+  cfg.base.seq_len = 4;
+  cfg.base.hidden = 8;
+  cfg.base.epochs = 2;
+  Rsr model(*dataset_, cfg);
+  model.Train();
+  const auto preds = model.Predict(dataset_->dates(market::Split::kTest));
+  for (const auto& row : preds) {
+    for (double p : row) EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+TEST_F(NnModelTest, EmbeddingsHaveExpectedShape) {
+  RankLstmConfig cfg;
+  cfg.seq_len = 4;
+  cfg.hidden = 8;
+  RankLstm model(*dataset_, cfg);
+  Mat e(dataset_->num_tasks(), 8);
+  model.Embeddings(dataset_->dates(market::Split::kValid)[0], &e);
+  for (float v : e.data) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(NnModelTest, GridSearchPicksFromGrid) {
+  ExperimentOptions opt;
+  opt.seq_lens = {4};
+  opt.hiddens = {4, 8};
+  opt.alphas = {1.0};
+  opt.epochs = 1;
+  opt.num_seeds = 2;
+  const ModelExperimentResult r = RunRankLstmExperiment(*dataset_, opt);
+  EXPECT_TRUE(r.best_config.hidden == 4 || r.best_config.hidden == 8);
+  EXPECT_TRUE(std::isfinite(r.ic_mean));
+  EXPECT_TRUE(std::isfinite(r.sharpe_std));
+}
+
+}  // namespace
+}  // namespace alphaevolve::nn

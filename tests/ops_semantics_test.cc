@@ -1,0 +1,425 @@
+// Per-op semantic verification: every vector/matrix op is executed through
+// a minimal program on a deterministic dataset and cross-checked against a
+// straight re-computation of its definition on the same input matrix.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "test_util.h"
+
+namespace alphaevolve::core {
+namespace {
+
+using market::Split;
+
+Instruction I(Op op, int out, int in1 = 0, int in2 = 0) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.in1 = static_cast<uint8_t>(in1);
+  ins.in2 = static_cast<uint8_t>(in2);
+  return ins;
+}
+
+/// Fixture: one shared dataset; helpers to run a predict-only program and
+/// to fetch the reference input matrix for (task 0, first valid date).
+class OpsSemanticsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new market::Dataset(testutil::MakeDataset(6, 80));
+  }
+  static void TearDownTestSuite() { delete dataset_; }
+
+  static double RunPredict(std::vector<Instruction> predict) {
+    AlphaProgram prog;
+    prog.setup.push_back(Instruction{});
+    prog.predict = std::move(predict);
+    prog.update.push_back(Instruction{});
+    Executor exec(*dataset_, ExecutorConfig{});
+    const ExecutionResult r = exec.Run(prog, /*seed=*/1,
+                                       /*include_test=*/false,
+                                       /*limit_train=*/1, /*limit_valid=*/1);
+    EXPECT_TRUE(r.valid);
+    return r.valid_preds.at(0).at(0);
+  }
+
+  /// Input matrix X of task 0 at the date the first validation prediction
+  /// sees — wait: with limit_train=1 the first (and only) valid date is
+  /// dates(kValid)[0]; m0 is refreshed there before Predict.
+  static std::vector<double> InputMatrix() {
+    const int w = dataset_->window();
+    std::vector<double> x(static_cast<size_t>(w) * w);
+    dataset_->FillInputMatrix(0, dataset_->dates(Split::kValid)[0], x.data());
+    return x;
+  }
+
+  static market::Dataset* dataset_;
+};
+
+market::Dataset* OpsSemanticsTest::dataset_ = nullptr;
+
+// -- vector ops, driven from rows/columns of the real input matrix --------
+
+TEST_F(OpsSemanticsTest, GetRowAndVectorReductions) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  const int row = 11;  // close
+
+  Instruction get_row;
+  get_row.op = Op::kGetRow;
+  get_row.out = 2;
+  get_row.idx0 = row;
+
+  double sum = 0, sq = 0;
+  for (int j = 0; j < w; ++j) {
+    sum += x[static_cast<size_t>(row) * w + j];
+    sq += x[static_cast<size_t>(row) * w + j] *
+          x[static_cast<size_t>(row) * w + j];
+  }
+
+  EXPECT_NEAR(RunPredict({get_row, I(Op::kVectorMean, 1, 2)}), sum / w, 1e-12);
+  EXPECT_NEAR(RunPredict({get_row, I(Op::kVectorNorm, 1, 2)}), std::sqrt(sq),
+              1e-12);
+  const double mean = sum / w;
+  double ss = 0;
+  for (int j = 0; j < w; ++j) {
+    const double d = x[static_cast<size_t>(row) * w + j] - mean;
+    ss += d * d;
+  }
+  EXPECT_NEAR(RunPredict({get_row, I(Op::kVectorStd, 1, 2)}),
+              std::sqrt(ss / w), 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, GetColumnMatchesMatrixColumn) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  const int col = w - 1;
+  Instruction get_col;
+  get_col.op = Op::kGetColumn;
+  get_col.out = 2;
+  get_col.idx0 = static_cast<uint8_t>(col);
+  double sum = 0;
+  for (int f = 0; f < w; ++f) sum += x[static_cast<size_t>(f) * w + col];
+  EXPECT_NEAR(RunPredict({get_col, I(Op::kVectorMean, 1, 2)}), sum / w, 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, VectorElementwiseAlgebra) {
+  // v2 = row11, v3 = row8; check (v2-v3)·(v2+v3) = Σ v2² - Σ v3².
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  Instruction a;
+  a.op = Op::kGetRow;
+  a.out = 2;
+  a.idx0 = 11;
+  Instruction b;
+  b.op = Op::kGetRow;
+  b.out = 3;
+  b.idx0 = 8;
+  double expect = 0;
+  for (int j = 0; j < w; ++j) {
+    const double va = x[11 * static_cast<size_t>(w) + j];
+    const double vb = x[8 * static_cast<size_t>(w) + j];
+    expect += va * va - vb * vb;
+  }
+  EXPECT_NEAR(RunPredict({a, b, I(Op::kVectorSub, 4, 2, 3),
+                          I(Op::kVectorAdd, 5, 2, 3),
+                          I(Op::kVectorDot, 1, 4, 5)}),
+              expect, 1e-9);
+}
+
+TEST_F(OpsSemanticsTest, VectorMinMaxHeavisideRecipAbs) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  Instruction a;
+  a.op = Op::kGetRow;
+  a.out = 2;
+  a.idx0 = 4;  // vol5 row, strictly positive
+  // mean(1/x) over the row.
+  double expect = 0;
+  for (int j = 0; j < w; ++j) expect += 1.0 / x[4 * static_cast<size_t>(w) + j];
+  EXPECT_NEAR(RunPredict({a, I(Op::kVectorReciprocal, 3, 2),
+                          I(Op::kVectorMean, 1, 3)}),
+              expect / w, 1e-9);
+  // heaviside of positive row = all ones -> mean 1.
+  EXPECT_NEAR(RunPredict({a, I(Op::kVectorHeaviside, 3, 2),
+                          I(Op::kVectorMean, 1, 3)}),
+              1.0, 1e-12);
+  // min(v, v) == max(v, v) == v.
+  EXPECT_NEAR(RunPredict({a, I(Op::kVectorMin, 3, 2, 2),
+                          I(Op::kVectorMax, 4, 3, 3),
+                          I(Op::kVectorSub, 5, 4, 2),
+                          I(Op::kVectorNorm, 1, 5)}),
+              0.0, 1e-12);
+  // abs(-v) == v for positive v.
+  Instruction neg_scale = I(Op::kVectorScale, 3, 2, 9);  // s9 = 0 -> zero vec
+  (void)neg_scale;
+  EXPECT_NEAR(RunPredict({a, I(Op::kVectorAbs, 3, 2),
+                          I(Op::kVectorSub, 4, 3, 2),
+                          I(Op::kVectorNorm, 1, 4)}),
+              0.0, 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, VectorScaleAndBroadcast) {
+  // v3 = 2.5 * broadcast(1) -> mean 2.5.
+  Instruction c;
+  c.op = Op::kScalarConst;
+  c.out = 2;
+  c.imm0 = 1.0;
+  Instruction k;
+  k.op = Op::kScalarConst;
+  k.out = 3;
+  k.imm0 = 2.5;
+  EXPECT_NEAR(RunPredict({c, k, I(Op::kVectorBroadcast, 4, 2),
+                          I(Op::kVectorScale, 5, 4, 3),
+                          I(Op::kVectorMean, 1, 5)}),
+              2.5, 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, VectorOuterProductTrace) {
+  // trace(v ⊗ v) = Σ v_i² = ||v||²; mean(m)·n² = Σ entries = (Σ v)².
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  Instruction a;
+  a.op = Op::kGetRow;
+  a.out = 2;
+  a.idx0 = 2;
+  double sum = 0;
+  for (int j = 0; j < w; ++j) sum += x[2 * static_cast<size_t>(w) + j];
+  EXPECT_NEAR(RunPredict({a, I(Op::kVectorOuter, 1, 2, 2),
+                          I(Op::kMatrixMean, 1, 1)}),
+              sum * sum / (w * w), 1e-9);
+}
+
+// -- matrix ops ------------------------------------------------------------
+
+TEST_F(OpsSemanticsTest, MatrixNormIsFrobenius) {
+  const auto x = InputMatrix();
+  double sq = 0;
+  for (double v : x) sq += v * v;
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixNorm, 1, 0)}), std::sqrt(sq), 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, MatrixMeanAndStd) {
+  const auto x = InputMatrix();
+  const double n = static_cast<double>(x.size());
+  double mean = 0;
+  for (double v : x) mean += v;
+  mean /= n;
+  double ss = 0;
+  for (double v : x) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixMean, 1, 0)}), mean, 1e-12);
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixStd, 1, 0)}), std::sqrt(ss / n), 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, MatrixNormAxisMatchesRowAndColumnNorms) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  // axis=1: per-row norms -> vector; its own norm = Frobenius.
+  Instruction na1 = I(Op::kMatrixNormAxis, 2, 0);
+  na1.idx0 = 1;
+  double sq = 0;
+  for (double v : x) sq += v * v;
+  EXPECT_NEAR(RunPredict({na1, I(Op::kVectorNorm, 1, 2)}), std::sqrt(sq),
+              1e-12);
+  // axis=0: per-column norms; check first column by selecting via mean
+  // against hand computation of all the column norms' mean.
+  Instruction na0 = I(Op::kMatrixNormAxis, 2, 0);
+  na0.idx0 = 0;
+  double mean_of_norms = 0;
+  for (int j = 0; j < w; ++j) {
+    double acc = 0;
+    for (int i = 0; i < w; ++i) {
+      acc += x[static_cast<size_t>(i) * w + j] *
+             x[static_cast<size_t>(i) * w + j];
+    }
+    mean_of_norms += std::sqrt(acc);
+  }
+  EXPECT_NEAR(RunPredict({na0, I(Op::kVectorMean, 1, 2)}), mean_of_norms / w,
+              1e-12);
+}
+
+TEST_F(OpsSemanticsTest, MatrixTransposeIsInvolution) {
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixTranspose, 1, 0),
+                          I(Op::kMatrixTranspose, 1, 1),
+                          I(Op::kMatrixSub, 2, 1, 0),
+                          I(Op::kMatrixNorm, 1, 2)}),
+              0.0, 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, MatrixMatMulAgainstHandComputation) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  // mean(X · X).
+  double total = 0;
+  for (int i = 0; i < w; ++i) {
+    for (int j = 0; j < w; ++j) {
+      double acc = 0;
+      for (int q = 0; q < w; ++q) {
+        acc += x[static_cast<size_t>(i) * w + q] *
+               x[static_cast<size_t>(q) * w + j];
+      }
+      total += acc;
+    }
+  }
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixMatMul, 1, 0, 0),
+                          I(Op::kMatrixMean, 1, 1)}),
+              total / (w * w), 1e-9);
+}
+
+TEST_F(OpsSemanticsTest, MatrixMatMulInPlaceAliasingIsSafe) {
+  // m0 = m0 × m0 must use scratch, not clobber inputs mid-product: verify
+  // against the same product computed into a fresh matrix.
+  const double via_fresh = RunPredict({I(Op::kMatrixMatMul, 1, 0, 0),
+                                       I(Op::kMatrixNorm, 1, 1)});
+  const double in_place = RunPredict({I(Op::kMatrixMatMul, 0, 0, 0),
+                                      I(Op::kMatrixNorm, 1, 0)});
+  EXPECT_NEAR(via_fresh, in_place, 1e-9);
+}
+
+TEST_F(OpsSemanticsTest, MatrixVectorProductMatchesManual) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  Instruction get_col;
+  get_col.op = Op::kGetColumn;
+  get_col.out = 2;
+  get_col.idx0 = static_cast<uint8_t>(w - 1);
+  // mean(X · col).
+  double total = 0;
+  for (int i = 0; i < w; ++i) {
+    double acc = 0;
+    for (int j = 0; j < w; ++j) {
+      acc += x[static_cast<size_t>(i) * w + j] *
+             x[static_cast<size_t>(j) * w + (w - 1)];
+    }
+    total += acc;
+  }
+  EXPECT_NEAR(RunPredict({get_col, I(Op::kMatrixVectorProduct, 3, 0, 2),
+                          I(Op::kVectorMean, 1, 3)}),
+              total / w, 1e-9);
+}
+
+TEST_F(OpsSemanticsTest, MatrixBroadcastAxes) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  Instruction row;
+  row.op = Op::kGetRow;
+  row.out = 2;
+  row.idx0 = 3;
+  double sum = 0;
+  for (int j = 0; j < w; ++j) sum += x[3 * static_cast<size_t>(w) + j];
+  // axis=0: rows are copies of v -> matrix mean = vector mean.
+  Instruction b0 = I(Op::kMatrixBroadcast, 1, 2);
+  b0.idx0 = 0;
+  EXPECT_NEAR(RunPredict({row, b0, I(Op::kMatrixMean, 1, 1)}), sum / w, 1e-12);
+  // axis=1: columns are copies -> same mean.
+  Instruction b1 = I(Op::kMatrixBroadcast, 1, 2);
+  b1.idx0 = 1;
+  EXPECT_NEAR(RunPredict({row, b1, I(Op::kMatrixMean, 1, 1)}), sum / w, 1e-12);
+  // But the two broadcasts are transposes of each other.
+  Instruction b0m2 = I(Op::kMatrixBroadcast, 2, 2);
+  b0m2.idx0 = 0;
+  EXPECT_NEAR(RunPredict({row, b0m2, b1, I(Op::kMatrixTranspose, 3, 1),
+                          I(Op::kMatrixSub, 3, 3, 2),
+                          I(Op::kMatrixNorm, 1, 3)}),
+              0.0, 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, MatrixElementwiseOps) {
+  // (X + X) - 2X = 0; (X*X)/(X*X) has mean 1 where X != 0 (the matrix is
+  // strictly positive for this dataset).
+  Instruction two;
+  two.op = Op::kScalarConst;
+  two.out = 2;
+  two.imm0 = 2.0;
+  EXPECT_NEAR(RunPredict({two, I(Op::kMatrixAdd, 1, 0, 0),
+                          I(Op::kMatrixScale, 2, 0, 2),
+                          I(Op::kMatrixSub, 1, 1, 2),
+                          I(Op::kMatrixNorm, 1, 1)}),
+              0.0, 1e-12);
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixMul, 1, 0, 0),
+                          I(Op::kMatrixDiv, 1, 1, 1),
+                          I(Op::kMatrixMean, 1, 1)}),
+              1.0, 1e-12);
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixMin, 1, 0, 0),
+                          I(Op::kMatrixMax, 2, 1, 1),
+                          I(Op::kMatrixSub, 2, 2, 0),
+                          I(Op::kMatrixNorm, 1, 2)}),
+              0.0, 1e-12);
+  // heaviside of a strictly positive matrix is all ones.
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixHeaviside, 1, 0),
+                          I(Op::kMatrixMean, 1, 1)}),
+              1.0, 1e-12);
+  // 1/(1/X) == X.
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixReciprocal, 1, 0),
+                          I(Op::kMatrixReciprocal, 1, 1),
+                          I(Op::kMatrixSub, 2, 1, 0),
+                          I(Op::kMatrixNorm, 1, 2)}),
+              0.0, 1e-9);
+  // abs(X) == X for positive X.
+  EXPECT_NEAR(RunPredict({I(Op::kMatrixAbs, 1, 0), I(Op::kMatrixSub, 2, 1, 0),
+                          I(Op::kMatrixNorm, 1, 2)}),
+              0.0, 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, MatrixMeanAxisAgreesWithFullMean) {
+  // mean over axis then over the vector == global mean (square matrix).
+  const auto x = InputMatrix();
+  double mean = 0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (int axis : {0, 1}) {
+    Instruction ma = I(Op::kMatrixMeanAxis, 2, 0);
+    ma.idx0 = static_cast<uint8_t>(axis);
+    EXPECT_NEAR(RunPredict({ma, I(Op::kVectorMean, 1, 2)}), mean, 1e-12);
+  }
+}
+
+TEST_F(OpsSemanticsTest, ScalarTranscendentalsMatchStdlib) {
+  const auto x = InputMatrix();
+  const int w = dataset_->window();
+  const double v = x[11 * static_cast<size_t>(w) + (w - 1)];  // close, in (0,1]
+  Instruction get;
+  get.op = Op::kGetScalar;
+  get.out = 2;
+  get.idx0 = 11;
+  get.idx1 = static_cast<uint8_t>(w - 1);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarSin, 1, 2)}), std::sin(v), 1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarCos, 1, 2)}), std::cos(v), 1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarTan, 1, 2)}), std::tan(v), 1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarArcSin, 1, 2)}), std::asin(v),
+              1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarArcCos, 1, 2)}), std::acos(v),
+              1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarArcTan, 1, 2)}), std::atan(v),
+              1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarExp, 1, 2)}), std::exp(v), 1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarLog, 1, 2)}), std::log(v), 1e-12);
+  EXPECT_NEAR(RunPredict({get, I(Op::kScalarHeaviside, 1, 2)}), 1.0, 1e-12);
+}
+
+TEST_F(OpsSemanticsTest, RandomOpsRespectTheirRanges) {
+  Instruction uni;
+  uni.op = Op::kVectorUniform;
+  uni.out = 2;
+  uni.imm0 = 0.25;
+  uni.imm1 = 0.75;
+  // Mean of U(0.25, 0.75) over 13 entries is within the range for sure.
+  const double mean = RunPredict({uni, I(Op::kVectorMean, 1, 2)});
+  EXPECT_GE(mean, 0.25);
+  EXPECT_LE(mean, 0.75);
+
+  Instruction gauss;
+  gauss.op = Op::kMatrixGaussian;
+  gauss.out = 1;
+  gauss.imm0 = 5.0;
+  gauss.imm1 = 0.01;
+  const double gmean = RunPredict({gauss, I(Op::kMatrixMean, 1, 1)});
+  EXPECT_NEAR(gmean, 5.0, 0.05);
+}
+
+}  // namespace
+}  // namespace alphaevolve::core

@@ -1,0 +1,221 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/generators.h"
+#include "test_util.h"
+
+namespace alphaevolve::core {
+namespace {
+
+Instruction I(Op op, int out, int in1 = 0, int in2 = 0) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.in1 = static_cast<uint8_t>(in1);
+  ins.in2 = static_cast<uint8_t>(in2);
+  return ins;
+}
+
+Instruction GetScalar(int out, int feature, int day) {
+  Instruction ins;
+  ins.op = Op::kGetScalar;
+  ins.out = static_cast<uint8_t>(out);
+  ins.idx0 = static_cast<uint8_t>(feature);
+  ins.idx1 = static_cast<uint8_t>(day);
+  return ins;
+}
+
+const ProgramLimits kLimits;
+
+TEST(PruningTest, OverwrittenPredictionIsPruned) {
+  // Figure 5a: an s1 that is later overwritten contributes nothing.
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(2, 3, 4));
+  prog.predict.push_back(I(Op::kScalarAdd, 1, 2, 2));  // s1(1): overwritten
+  prog.predict.push_back(I(Op::kScalarMul, 1, 2, 2));  // s1(2): the prediction
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  EXPECT_FALSE(r.redundant);
+  ASSERT_EQ(r.pruned.predict.size(), 2u);
+  EXPECT_EQ(r.pruned.predict[1].op, Op::kScalarMul);
+  EXPECT_GE(r.num_pruned_instructions, 1);
+}
+
+TEST(PruningTest, UnusedComputationIsPruned) {
+  // Figure 5a: s8 never contributes to s1.
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(2, 3, 4));
+  prog.predict.push_back(I(Op::kScalarAdd, 8, 2, 2));  // dead
+  prog.predict.push_back(I(Op::kScalarMul, 1, 2, 2));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  EXPECT_FALSE(r.redundant);
+  ASSERT_EQ(r.pruned.predict.size(), 2u);
+  for (const auto& ins : r.pruned.predict) {
+    EXPECT_NE(ins.out, 8);
+  }
+}
+
+TEST(PruningTest, AlphaWithoutInputMatrixIsRedundant) {
+  // Figure 5b: prediction has no dataflow from m0.
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  Instruction c;
+  c.op = Op::kScalarConst;
+  c.out = 2;
+  c.imm0 = 0.5;
+  prog.predict.push_back(c);
+  prog.predict.push_back(I(Op::kScalarAdd, 1, 2, 2));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  EXPECT_TRUE(r.redundant);
+}
+
+TEST(PruningTest, EmptyPredictionIsRedundant) {
+  const PruneResult r = PruneRedundant(MakeNoOpAlpha(), kLimits);
+  EXPECT_TRUE(r.redundant);
+}
+
+TEST(PruningTest, MatrixInputUseCountsAsInputDependence) {
+  // m0 consumed through a matrix op, not an ExtractionOp.
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(I(Op::kMatrixNorm, 1, kInputMatrix));
+  prog.update.push_back(I(Op::kNoOp, 0));
+  EXPECT_FALSE(PruneRedundant(prog, kLimits).redundant);
+}
+
+TEST(PruningTest, CrossPeriodFlowThroughUpdateIsKept) {
+  // Predict reads s2; only Update writes s2 (from m0). The value flows
+  // across the date boundary — the dashed edge of Figure 5.
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(I(Op::kScalarAdd, 1, 2, 2));
+  prog.update.push_back(GetScalar(2, 5, 6));
+
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  EXPECT_FALSE(r.redundant);
+  ASSERT_EQ(r.pruned.update.size(), 1u);
+  EXPECT_EQ(r.pruned.update[0].op, Op::kGetScalar);
+}
+
+TEST(PruningTest, SetupFeedingPredictionIsKept) {
+  AlphaProgram prog;
+  Instruction c;
+  c.op = Op::kScalarConst;
+  c.out = 3;
+  c.imm0 = 2.0;
+  prog.setup.push_back(c);
+  Instruction dead = c;
+  dead.out = 4;  // never read
+  prog.setup.push_back(dead);
+  prog.predict.push_back(GetScalar(2, 1, 1));
+  prog.predict.push_back(I(Op::kScalarMul, 1, 2, 3));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  EXPECT_FALSE(r.redundant);
+  ASSERT_EQ(r.pruned.setup.size(), 1u);
+  EXPECT_EQ(r.pruned.setup[0].out, 3);
+}
+
+TEST(PruningTest, LabelUseInUpdateKeepsParameterPath) {
+  // The NN alpha's whole Update must survive: every op feeds the
+  // parameters that Predict reads.
+  const AlphaProgram prog = MakeNeuralNetAlpha(13);
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  EXPECT_FALSE(r.redundant);
+  EXPECT_EQ(r.pruned.update.size(), prog.update.size());
+  EXPECT_EQ(r.pruned.predict.size(), prog.predict.size());
+  EXPECT_EQ(r.num_pruned_instructions, 0);
+}
+
+TEST(PruningTest, ExpertAlphaKeepsOnlyLiveSetupConstant) {
+  const AlphaProgram prog = MakeExpertAlpha(13);
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  EXPECT_FALSE(r.redundant);
+  // The epsilon constant is live; the no-op update is dropped.
+  EXPECT_EQ(r.pruned.setup.size(), 1u);
+  EXPECT_EQ(r.pruned.predict.size(), prog.predict.size());
+  EXPECT_TRUE(r.pruned.update.empty());
+}
+
+TEST(PruningTest, NoOpsNeverSurvive) {
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(I(Op::kMatrixNorm, 1, kInputMatrix));
+  prog.predict.push_back(I(Op::kNoOp, 0));
+  prog.update.push_back(I(Op::kNoOp, 0));
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  for (const auto& ins : r.pruned.predict) EXPECT_NE(ins.op, Op::kNoOp);
+  EXPECT_EQ(r.pruned.predict.size(), 1u);
+}
+
+TEST(PruningTest, FingerprintIgnoresDeadCode) {
+  AlphaProgram a;
+  a.setup.push_back(I(Op::kNoOp, 0));
+  a.predict.push_back(I(Op::kMatrixNorm, 1, kInputMatrix));
+  a.update.push_back(I(Op::kNoOp, 0));
+
+  AlphaProgram b = a;
+  b.predict.push_back(I(Op::kScalarAdd, 7, 3, 3));  // dead
+  b.update.push_back(GetScalar(9, 2, 2));           // dead
+
+  const uint64_t fa = Fingerprint(PruneRedundant(a, kLimits).pruned);
+  const uint64_t fb = Fingerprint(PruneRedundant(b, kLimits).pruned);
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(PruningTest, FingerprintSeesLiveChanges) {
+  AlphaProgram a;
+  a.setup.push_back(I(Op::kNoOp, 0));
+  a.predict.push_back(I(Op::kMatrixNorm, 1, kInputMatrix));
+  a.update.push_back(I(Op::kNoOp, 0));
+
+  AlphaProgram b = a;
+  b.predict[0].op = Op::kMatrixMean;
+
+  const uint64_t fa = Fingerprint(PruneRedundant(a, kLimits).pruned);
+  const uint64_t fb = Fingerprint(PruneRedundant(b, kLimits).pruned);
+  EXPECT_NE(fa, fb);
+}
+
+TEST(PruningTest, PrunedProgramExecutesIdentically) {
+  // Dead code must not change behaviour: run both forms (no random ops).
+  const auto ds = testutil::MakeDataset(6, 80);
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  prog.predict.push_back(GetScalar(2, market::kClose, 12));
+  prog.predict.push_back(I(Op::kScalarAdd, 8, 2, 2));   // dead
+  prog.predict.push_back(I(Op::kScalarSin, 1, 2));
+  prog.update.push_back(GetScalar(9, 1, 1));            // dead
+  prog.update.push_back(I(Op::kScalarMul, 7, 9, 9));    // dead
+
+  const PruneResult r = PruneRedundant(prog, kLimits);
+  ASSERT_FALSE(r.redundant);
+  // setup no-op + dead s8 + both dead update ops.
+  EXPECT_EQ(r.num_pruned_instructions, 4);
+
+  Executor exec(ds, ExecutorConfig{});
+  const auto full = exec.Run(prog, 1);
+  const auto pruned = exec.Run(r.pruned, 1);
+  ASSERT_TRUE(full.valid && pruned.valid);
+  EXPECT_EQ(full.valid_preds, pruned.valid_preds);
+}
+
+TEST(PruningTest, HashStringIsStable) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+}  // namespace
+}  // namespace alphaevolve::core

@@ -1,0 +1,53 @@
+#ifndef ALPHAEVOLVE_TESTS_TEST_UTIL_H_
+#define ALPHAEVOLVE_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "market/dataset.h"
+#include "market/types.h"
+
+namespace alphaevolve::testutil {
+
+/// Hand-built panel: `close_fn(stock, day)` defines the close path; OHLC are
+/// derived deterministically and volume is constant. `sector_of(stock)`
+/// controls the relational structure (industry == sector here).
+inline std::vector<market::StockSeries> MakePanel(
+    int num_stocks, int num_days,
+    const std::function<double(int, int)>& close_fn,
+    const std::function<int(int)>& sector_of) {
+  std::vector<market::StockSeries> panel;
+  for (int k = 0; k < num_stocks; ++k) {
+    market::StockSeries s;
+    s.meta.id = k;
+    s.meta.symbol = "T" + std::to_string(k);
+    s.meta.sector = sector_of(k);
+    s.meta.industry = sector_of(k);
+    for (int t = 0; t < num_days; ++t) {
+      market::OhlcvBar bar;
+      bar.close = close_fn(k, t);
+      bar.open = bar.close * 0.99;
+      bar.high = bar.close * 1.02;
+      bar.low = bar.close * 0.97;
+      bar.volume = 1000.0;
+      s.bars.push_back(bar);
+    }
+    panel.push_back(std::move(s));
+  }
+  return panel;
+}
+
+/// Small deterministic dataset: gently drifting sinusoid paths, two sectors.
+inline market::Dataset MakeDataset(int num_stocks = 8, int num_days = 90) {
+  auto close = [](int k, int t) {
+    return 50.0 + 5.0 * std::sin(0.21 * t + 0.8 * k) + 0.05 * t + 2.0 * k;
+  };
+  auto sector = [num_stocks](int k) { return k < num_stocks / 2 ? 0 : 1; };
+  return market::Dataset::Build(MakePanel(num_stocks, num_days, close, sector),
+                                market::DatasetConfig{});
+}
+
+}  // namespace alphaevolve::testutil
+
+#endif  // ALPHAEVOLVE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,115 @@
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/threadpool.h"
+
+namespace alphaevolve {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(AE_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithLocation) {
+  try {
+    AE_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ctx 42"), std::string::npos);
+    EXPECT_NE(what.find("util_misc_test.cc"), std::string::npos);
+  }
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitAllOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitAll();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<long> sum{0};
+  pool.ParallelFor(1000, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(CsvTest, WritesHeaderAndRowsWithEscaping) {
+  const std::string path = ::testing::TempDir() + "/csv_test.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.WriteRow(std::vector<std::string>{"plain", "with,comma"});
+    w.WriteRow(std::vector<std::string>{"quote\"inside", "x"});
+    w.WriteRow(std::vector<double>{1.5, -2.25});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"with,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"quote\"\"inside\",x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,-2.25");
+}
+
+TEST(CsvTest, WrongColumnCountThrows) {
+  const std::string path = ::testing::TempDir() + "/csv_test2.csv";
+  CsvWriter w(path, {"a", "b"});
+  EXPECT_THROW(w.WriteRow(std::vector<std::string>{"only-one"}), CheckError);
+}
+
+TEST(TableTest, FormatsAlignedColumns) {
+  TablePrinter t({"Alpha", "Sharpe ratio", "IC"});
+  t.AddRow({"alpha_AE_D_0", TablePrinter::Num(21.323797),
+            TablePrinter::Num(0.067358)});
+  t.AddRow({"alpha_G_0", TablePrinter::Na(), TablePrinter::Num(-0.5)});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha_AE_D_0"), std::string::npos);
+  EXPECT_NE(out.find("21.323797"), std::string::npos);
+  EXPECT_NE(out.find("NA"), std::string::npos);
+  EXPECT_NE(out.find("| Alpha"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsSixDecimals) {
+  EXPECT_EQ(TablePrinter::Num(1.0), "1.000000");
+  EXPECT_EQ(TablePrinter::Num(-0.1234567), "-0.123457");
+  EXPECT_EQ(TablePrinter::Num(std::nan("")), "NA");
+}
+
+TEST(TableTest, RowArityEnforced) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"x"}), CheckError);
+}
+
+}  // namespace
+}  // namespace alphaevolve
