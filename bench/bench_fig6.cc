@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "common.h"
-#include "core/evaluator.h"
+#include "core/evaluator_pool.h"
 #include "util/csv.h"
 
 using namespace aebench;
@@ -21,8 +21,9 @@ int main() {
   PrintBanner("Figure 6: evolutionary trajectories of round winners", opt,
               dataset);
 
-  core::Evaluator evaluator(dataset, core::EvaluatorConfig{});
-  const AeStudyResult ae = RunAeStudy(evaluator, opt);
+  core::EvaluatorPool pool(dataset, core::EvaluatorConfig{},
+                           opt.num_threads);
+  const AeStudyResult ae = RunAeStudy(pool, opt);
 
   alphaevolve::CsvWriter csv(ResultsDir() + "/fig6_trajectories.csv",
                              {"round", "alpha", "candidates",

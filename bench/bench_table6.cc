@@ -11,7 +11,7 @@
 #include <limits>
 
 #include "common.h"
-#include "core/evaluator.h"
+#include "core/evaluator_pool.h"
 #include "util/table.h"
 
 using namespace aebench;
@@ -21,13 +21,14 @@ int main() {
   const market::Dataset dataset = MakeBenchDataset(opt);
   PrintBanner("Table 6: pruning-technique efficiency", opt, dataset);
 
-  core::Evaluator evaluator(dataset, core::EvaluatorConfig{});
+  core::EvaluatorPool pool(dataset, core::EvaluatorConfig{},
+                           opt.num_threads);
 
   core::EvolutionConfig pruned_cfg = MakeEvolutionConfig(opt, 1);
   core::EvolutionConfig nofp_cfg = pruned_cfg;
   nofp_cfg.use_pruning = false;
 
-  core::WeaklyCorrelatedMiner miner(evaluator, pruned_cfg);
+  core::WeaklyCorrelatedMiner miner(pool, pruned_cfg);
   core::Mutator mutator{core::MutatorConfig{}};
   const core::InitKind kInits[] = {
       core::InitKind::kExpert, core::InitKind::kNeuralNet,
@@ -70,7 +71,7 @@ int main() {
     }
     core::EvolutionConfig cfg = nofp_cfg;
     cfg.seed = 700 + round;
-    core::Evolution nofp(evaluator, cfg, accepted_returns);
+    core::Evolution nofp(pool, cfg, accepted_returns);
     const core::EvolutionResult without = nofp.Run(init);
     total_nofp += without.stats.candidates;
     double corr_n = std::numeric_limits<double>::quiet_NaN();

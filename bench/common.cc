@@ -1,5 +1,6 @@
 #include "common.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +34,7 @@ BenchOptions BenchOptions::FromEnv() {
                                    static_cast<int>(opt.market_seed)));
   opt.search_seconds = EnvDouble("AE_BENCH_TIME", opt.search_seconds);
   opt.rounds = EnvInt("AE_BENCH_ROUNDS", opt.rounds);
+  opt.num_threads = std::max(1, EnvInt("AE_BENCH_THREADS", opt.num_threads));
   opt.full = EnvInt("AE_BENCH_FULL", 0) != 0;
   if (opt.full) {
     // Paper-scale universe and calendar (§5.1); budgets stay time-bounded.
@@ -72,6 +74,7 @@ core::EvolutionConfig MakeEvolutionConfig(const BenchOptions& opt,
   cfg.max_candidates = 0;      // time-bounded, like the paper's 60 h rounds
   cfg.time_budget_seconds = opt.search_seconds;
   cfg.seed = seed;
+  cfg.num_threads = opt.num_threads;  // batch size auto: 4x threads
   return cfg;
 }
 
@@ -88,12 +91,17 @@ RoundOutcome RunRoundBestOfInits(core::WeaklyCorrelatedMiner& miner,
                                  uint64_t seed) {
   RoundOutcome out;
   core::Mutator mutator{core::MutatorConfig{}};
-  double best_sharpe = -1e30;
+  // One search per initialization; pool-backed miners run them concurrently.
+  std::vector<core::WeaklyCorrelatedMiner::SearchSpec> specs;
   for (size_t i = 0; i < inits.size(); ++i) {
     alphaevolve::Rng rng(seed * 977 + i);
-    const core::AlphaProgram init =
-        core::MakeInitialAlpha(inits[i], mutator, rng);
-    core::EvolutionResult r = miner.RunSearch(init, seed + i);
+    specs.push_back({core::MakeInitialAlpha(inits[i], mutator, rng),
+                     seed + i});
+  }
+  std::vector<core::EvolutionResult> results = miner.RunSearches(specs);
+  double best_sharpe = -1e30;
+  for (size_t i = 0; i < inits.size(); ++i) {
+    core::EvolutionResult& r = results[i];
     if (r.has_alpha && r.best_metrics.sharpe_valid > best_sharpe) {
       best_sharpe = r.best_metrics.sharpe_valid;
       out.has_alpha = true;
@@ -132,44 +140,45 @@ StudyRow MakeRow(std::string name, const core::EvolutionResult& r,
   return row;
 }
 
-}  // namespace
-
-AeStudyResult RunAeStudy(core::Evaluator& evaluator, const BenchOptions& opt) {
+AeStudyResult RunAeStudyWithMiner(core::WeaklyCorrelatedMiner& miner,
+                                  const BenchOptions& opt) {
   const std::vector<core::InitKind> inits = {
       core::InitKind::kExpert, core::InitKind::kNoOp, core::InitKind::kRandom,
       core::InitKind::kNeuralNet};
-  core::WeaklyCorrelatedMiner miner(evaluator,
-                                    MakeEvolutionConfig(opt, /*seed=*/1));
   core::Mutator mutator{core::MutatorConfig{}};
   AeStudyResult study;
 
   for (int round = 0; round < opt.rounds; ++round) {
     const bool final_round =
         round == opt.rounds - 1 && !miner.accepted().empty();
-    std::vector<StudyRow> rows;
+    // Each round is one multi-seed batch of searches against the same
+    // accepted set; a pool-backed miner runs them concurrently.
+    std::vector<core::WeaklyCorrelatedMiner::SearchSpec> specs;
+    std::vector<std::string> names;
     if (!final_round) {
       for (size_t i = 0; i < inits.size(); ++i) {
         alphaevolve::Rng rng(static_cast<uint64_t>(round) * 977 + i);
-        const core::AlphaProgram init =
-            core::MakeInitialAlpha(inits[i], mutator, rng);
-        const core::EvolutionResult r =
-            miner.RunSearch(init, static_cast<uint64_t>(round) * 100 + i);
-        rows.push_back(MakeRow("alpha_AE_" +
-                                   std::string(core::InitKindName(inits[i])) +
-                                   "_" + std::to_string(round),
-                               r, miner));
+        specs.push_back({core::MakeInitialAlpha(inits[i], mutator, rng),
+                         static_cast<uint64_t>(round) * 100 + i});
+        names.push_back("alpha_AE_" +
+                        std::string(core::InitKindName(inits[i])) + "_" +
+                        std::to_string(round));
       }
     } else {
       // The paper's last round: previous best alphas as initializations.
       const auto accepted_copy = miner.accepted();  // stable during round
       for (size_t j = 0; j < accepted_copy.size(); ++j) {
-        const core::EvolutionResult r = miner.RunSearch(
-            accepted_copy[j].program,
-            static_cast<uint64_t>(round) * 100 + j);
-        rows.push_back(MakeRow("alpha_AE_B" + std::to_string(j) + "_" +
-                                   std::to_string(round),
-                               r, miner));
+        specs.push_back({accepted_copy[j].program,
+                         static_cast<uint64_t>(round) * 100 + j});
+        names.push_back("alpha_AE_B" + std::to_string(j) + "_" +
+                        std::to_string(round));
       }
+    }
+    const std::vector<core::EvolutionResult> results =
+        miner.RunSearches(specs);
+    std::vector<StudyRow> rows;
+    for (size_t i = 0; i < results.size(); ++i) {
+      rows.push_back(MakeRow(names[i], results[i], miner));
     }
     // Round winner by validation Sharpe (paper §5.4.1).
     int best = -1;
@@ -190,6 +199,19 @@ AeStudyResult RunAeStudy(core::Evaluator& evaluator, const BenchOptions& opt) {
   }
   study.accepted = miner.accepted();
   return study;
+}
+
+}  // namespace
+
+AeStudyResult RunAeStudy(core::Evaluator& evaluator, const BenchOptions& opt) {
+  core::WeaklyCorrelatedMiner miner(evaluator,
+                                    MakeEvolutionConfig(opt, /*seed=*/1));
+  return RunAeStudyWithMiner(miner, opt);
+}
+
+AeStudyResult RunAeStudy(core::EvaluatorPool& pool, const BenchOptions& opt) {
+  core::WeaklyCorrelatedMiner miner(pool, MakeEvolutionConfig(opt, /*seed=*/1));
+  return RunAeStudyWithMiner(miner, opt);
 }
 
 std::vector<GaStudyRow> RunGaStudy(const market::Dataset& dataset,
@@ -251,12 +273,13 @@ void PrintBanner(const char* title, const BenchOptions& opt,
   std::printf(
       "synthetic NASDAQ: %d tasks x %d days "
       "(%zu train / %zu valid / %zu test), market seed %llu, "
-      "%.1fs per search%s\n\n",
+      "%.1fs per search, %d thread%s%s\n\n",
       dataset.num_tasks(), dataset.num_days(),
       dataset.dates(market::Split::kTrain).size(),
       dataset.dates(market::Split::kValid).size(),
       dataset.dates(market::Split::kTest).size(),
       static_cast<unsigned long long>(opt.market_seed), opt.search_seconds,
+      opt.num_threads, opt.num_threads == 1 ? "" : "s",
       opt.full ? " [FULL]" : "");
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator_pool.h"
 #include "core/evolution.h"
 #include "core/generators.h"
 #include "core/mining.h"
@@ -23,6 +24,7 @@ namespace ga = alphaevolve::ga;
 ///   AE_BENCH_SEED     market seed                    (default 17)
 ///   AE_BENCH_TIME     per-search wall budget, secs   (default 4)
 ///   AE_BENCH_ROUNDS   mining rounds                  (default 5)
+///   AE_BENCH_THREADS  evaluation worker threads      (default 1)
 ///   AE_BENCH_FULL     1 → paper-scale grid/budgets   (default 0)
 struct BenchOptions {
   int num_stocks = 150;
@@ -30,6 +32,7 @@ struct BenchOptions {
   uint64_t market_seed = 17;
   double search_seconds = 5.0;
   int rounds = 5;
+  int num_threads = 1;
   bool full = false;
 
   static BenchOptions FromEnv();
@@ -41,7 +44,7 @@ struct BenchOptions {
 market::Dataset MakeBenchDataset(const BenchOptions& opt);
 
 /// Evolution configuration matching the paper's §5.2 settings, with the
-/// bench time budget.
+/// bench time budget and the bench thread count (batch size auto-derived).
 core::EvolutionConfig MakeEvolutionConfig(const BenchOptions& opt,
                                           uint64_t seed);
 
@@ -93,6 +96,13 @@ struct AeStudyResult {
   std::vector<std::string> accepted_names;
 };
 AeStudyResult RunAeStudy(core::Evaluator& evaluator, const BenchOptions& opt);
+
+/// Pool-backed variant: per-round searches run concurrently on the pool.
+/// Each search is an independent deterministic stream, but the bench
+/// configs are time-budgeted, so concurrent searches share the workers and
+/// cover fewer candidates per wall-second than they would serially — run
+/// with AE_BENCH_THREADS=1 when comparing against serial outputs.
+AeStudyResult RunAeStudy(core::EvaluatorPool& pool, const BenchOptions& opt);
 
 /// The genetic-algorithm lineage for Table 2: one GA search per round with
 /// the cutoff against its *own* accepted set; stops (NA rows) after two

@@ -1,0 +1,71 @@
+#include "core/evaluator_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace alphaevolve::core {
+
+EvaluatorPool::EvaluatorPool(const market::Dataset& dataset,
+                             EvaluatorConfig config, int num_threads)
+    : dataset_(dataset), config_(config), num_threads_(num_threads) {
+  AE_CHECK(num_threads >= 1);
+  if (num_threads > 1) {
+    thread_pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+}
+
+Evaluator* EvaluatorPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.empty()) {
+    evaluators_.emplace_back(dataset_, config_);
+    return &evaluators_.back();
+  }
+  Evaluator* evaluator = free_.back();
+  free_.pop_back();
+  return evaluator;
+}
+
+void EvaluatorPool::Release(Evaluator* evaluator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(evaluator);
+}
+
+void EvaluatorPool::ForEach(int n,
+                            const std::function<void(Evaluator&, int)>& fn) {
+  if (n <= 0) return;
+  const int chunks = thread_pool_ == nullptr ? 1 : std::min(num_threads_, n);
+  if (chunks <= 1) {
+    Lease lease(*this);
+    for (int i = 0; i < n; ++i) fn(*lease, i);
+    return;
+  }
+  thread_pool_->ParallelFor(chunks, [&](int chunk) {
+    Lease lease(*this);
+    for (int i = chunk; i < n; i += chunks) fn(*lease, i);
+  });
+}
+
+std::vector<AlphaMetrics> EvaluatorPool::EvaluateBatch(
+    const std::vector<EvalRequest>& batch) {
+  std::vector<AlphaMetrics> out(batch.size());
+  ForEach(static_cast<int>(batch.size()), [&](Evaluator& evaluator, int i) {
+    const EvalRequest& req = batch[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)] =
+        evaluator.Evaluate(*req.program, req.seed, req.include_test);
+  });
+  return out;
+}
+
+std::vector<uint64_t> EvaluatorPool::ProbeFingerprintBatch(
+    const std::vector<EvalRequest>& batch) {
+  std::vector<uint64_t> out(batch.size());
+  ForEach(static_cast<int>(batch.size()), [&](Evaluator& evaluator, int i) {
+    const EvalRequest& req = batch[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)] =
+        evaluator.ProbeFingerprint(*req.program, req.seed);
+  });
+  return out;
+}
+
+}  // namespace alphaevolve::core

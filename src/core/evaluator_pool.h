@@ -1,0 +1,99 @@
+#ifndef ALPHAEVOLVE_CORE_EVALUATOR_POOL_H_
+#define ALPHAEVOLVE_CORE_EVALUATOR_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "market/dataset.h"
+#include "util/threadpool.h"
+
+namespace alphaevolve::core {
+
+/// A pool of per-worker `Evaluator`s (each owning its two `Executor`s) over
+/// one shared immutable `Dataset`, plus the `ThreadPool` that drives batched
+/// scoring. `Evaluator` is not thread-safe, so concurrent batch workers each
+/// check one out for the duration of their chunk; evaluators are created
+/// lazily on first demand and reused afterwards, so concurrent searches
+/// sharing one pool never contend on executor scratch state.
+///
+/// With `num_threads == 1` no threads are spawned and every batched call
+/// runs inline on the caller — the serial path stays allocation- and
+/// synchronization-free in the hot loop.
+class EvaluatorPool {
+ public:
+  EvaluatorPool(const market::Dataset& dataset, EvaluatorConfig config,
+                int num_threads = 1);
+
+  EvaluatorPool(const EvaluatorPool&) = delete;
+  EvaluatorPool& operator=(const EvaluatorPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+  const market::Dataset& dataset() const { return dataset_; }
+  const EvaluatorConfig& config() const { return config_; }
+
+  /// The driving pool; nullptr when the pool is serial (num_threads == 1).
+  ThreadPool* thread_pool() { return thread_pool_.get(); }
+
+  /// RAII checkout of one evaluator (used by workers and by callers that
+  /// need a scalar evaluation, e.g. final-winner re-scoring).
+  class Lease {
+   public:
+    explicit Lease(EvaluatorPool& pool)
+        : pool_(pool), evaluator_(pool.Acquire()) {}
+    ~Lease() { pool_.Release(evaluator_); }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Evaluator& operator*() { return *evaluator_; }
+    Evaluator* operator->() { return evaluator_; }
+
+   private:
+    EvaluatorPool& pool_;
+    Evaluator* evaluator_;
+  };
+
+  /// One entry of an evaluation batch.
+  struct EvalRequest {
+    const AlphaProgram* program = nullptr;
+    uint64_t seed = 0;
+    bool include_test = false;
+  };
+
+  /// Evaluates every request and returns metrics in request order. Results
+  /// are independent of the thread count (each evaluation is deterministic
+  /// in (program, seed) and evaluators share no mutable state).
+  std::vector<AlphaMetrics> EvaluateBatch(
+      const std::vector<EvalRequest>& batch);
+
+  /// Probe (functional) fingerprints for every request, in request order.
+  std::vector<uint64_t> ProbeFingerprintBatch(
+      const std::vector<EvalRequest>& batch);
+
+  /// Runs fn(evaluator, i) for i in [0, n), striping indices over up to
+  /// num_threads() concurrent chunks, each with its own leased evaluator.
+  /// The building block for the batched APIs above and for custom scoring
+  /// pipelines (see Evolution::ScoreBatch).
+  void ForEach(int n, const std::function<void(Evaluator&, int)>& fn);
+
+ private:
+  friend class Lease;
+  Evaluator* Acquire();
+  void Release(Evaluator* evaluator);
+
+  const market::Dataset& dataset_;
+  EvaluatorConfig config_;
+  int num_threads_;
+  std::unique_ptr<ThreadPool> thread_pool_;
+
+  std::mutex mu_;
+  std::deque<Evaluator> evaluators_;  // deque: stable addresses
+  std::vector<Evaluator*> free_;
+};
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_EVALUATOR_POOL_H_

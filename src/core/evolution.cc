@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <unordered_map>
 
 #include "core/pruning.h"
 #include "eval/metrics.h"
@@ -20,69 +22,164 @@ double Seconds(Clock::time_point from, Clock::time_point to) {
 
 Evolution::Evolution(Evaluator& evaluator, EvolutionConfig config,
                      std::vector<std::vector<double>> accepted_valid_returns)
-    : evaluator_(evaluator),
+    : serial_evaluator_(&evaluator),
       config_(config),
       mutator_(config.mutator),
       accepted_valid_returns_(std::move(accepted_valid_returns)) {
-  AE_CHECK(config_.population_size >= 2);
-  AE_CHECK(config_.tournament_size >= 1 &&
-           config_.tournament_size <= config_.population_size);
+  Init(config);
+  if (config_.num_threads > 1) {
+    owned_pool_ = std::make_unique<EvaluatorPool>(
+        evaluator.dataset(), evaluator.config(), config_.num_threads);
+    pool_ = owned_pool_.get();
+    serial_evaluator_ = nullptr;
+  }
 }
 
-double Evolution::Score(const AlphaProgram& candidate) {
-  ++stats_.candidates;
+Evolution::Evolution(EvaluatorPool& pool, EvolutionConfig config,
+                     std::vector<std::vector<double>> accepted_valid_returns)
+    : pool_(&pool),
+      config_(config),
+      mutator_(config.mutator),
+      accepted_valid_returns_(std::move(accepted_valid_returns)) {
+  Init(config);
+}
 
-  uint64_t fingerprint = 0;
-  const AlphaProgram* to_evaluate = &candidate;
-  AlphaProgram pruned;
+void Evolution::Init(EvolutionConfig config) {
+  AE_CHECK(config.population_size >= 2);
+  AE_CHECK(config.tournament_size >= 1 &&
+           config.tournament_size <= config.population_size);
+}
 
+int Evolution::EffectiveBatchSize() const {
+  if (config_.batch_size > 0) return config_.batch_size;
+  const int threads = pool_ != nullptr ? pool_->num_threads() : 1;
+  return threads > 1 ? 4 * threads : 1;
+}
+
+void Evolution::ForEachEvaluator(
+    int n, const std::function<void(Evaluator&, int)>& fn) {
+  if (pool_ != nullptr) {
+    pool_->ForEach(n, fn);
+  } else {
+    for (int i = 0; i < n; ++i) fn(*serial_evaluator_, i);
+  }
+}
+
+void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
+  const int n = static_cast<int>(batch.size());
+
+  // Stage 1 — fingerprints. Structural mode prunes and hashes on the
+  // driving thread (microseconds per candidate, §4.2); functional mode
+  // needs a probe evaluation per candidate, so that runs on the pool.
   if (config_.use_pruning) {
-    // Structural fingerprint: prune first, no evaluation needed (§4.2).
-    PruneResult pr = PruneRedundant(candidate, config_.mutator.limits);
-    if (pr.redundant) {
-      ++stats_.pruned_redundant;
-      return kInvalidFitness;
-    }
-    pruned = std::move(pr.pruned);
-    to_evaluate = &pruned;
-    fingerprint = Fingerprint(pruned);
-    if (auto hit = cache_.Lookup(fingerprint)) {
-      ++stats_.cache_hits;
-      return *hit;
+    for (Candidate& c : batch) {
+      PruneResult pr = PruneRedundant(c.program, config_.mutator.limits);
+      if (pr.redundant) {
+        c.outcome = Candidate::Outcome::kPrunedRedundant;
+        c.fitness = kInvalidFitness;
+        continue;
+      }
+      c.pruned = std::move(pr.pruned);
+      c.fingerprint = Fingerprint(c.pruned);
+      c.eval_seed = c.fingerprint;
     }
   } else {
-    // AutoML-Zero functional fingerprint: requires a probe evaluation.
-    const uint64_t seed = HashString(candidate.ToString());
-    fingerprint = evaluator_.ProbeFingerprint(candidate, seed);
-    if (auto hit = cache_.Lookup(fingerprint)) {
+    for (Candidate& c : batch) {
+      c.eval_seed = HashString(c.program.ToString());
+    }
+    ForEachEvaluator(n, [&](Evaluator& evaluator, int i) {
+      Candidate& c = batch[static_cast<size_t>(i)];
+      c.fingerprint = evaluator.ProbeFingerprint(c.program, c.eval_seed);
+    });
+  }
+
+  // Stage 2 — cache resolution and intra-batch dedup, in batch order, so
+  // the outcome matches the serial engine scoring the same children one at
+  // a time (a duplicate is exactly a cache hit against an earlier insert).
+  std::unordered_map<uint64_t, int> first_with_fingerprint;
+  std::vector<int> to_evaluate;
+  for (int i = 0; i < n; ++i) {
+    Candidate& c = batch[static_cast<size_t>(i)];
+    if (c.outcome == Candidate::Outcome::kPrunedRedundant) continue;
+    if (auto hit = cache_.Lookup(c.fingerprint)) {
+      c.outcome = Candidate::Outcome::kCacheHit;
+      c.fitness = *hit;
+      continue;
+    }
+    const auto [it, inserted] =
+        first_with_fingerprint.try_emplace(c.fingerprint, i);
+    if (!inserted) {
+      c.outcome = Candidate::Outcome::kDuplicate;
+      c.duplicate_of = it->second;
+      continue;
+    }
+    to_evaluate.push_back(i);
+  }
+
+  // Stage 3 — evaluate the unique remainder in parallel: full scoring plus
+  // the weak-correlation cutoff (§5.4.1; the accepted set is immutable for
+  // the whole run, so workers read it lock-free), then publish to the
+  // thread-safe cache. Every computed value is deterministic in
+  // (program, seed), so scheduling cannot change any result.
+  ForEachEvaluator(
+      static_cast<int>(to_evaluate.size()), [&](Evaluator& evaluator, int k) {
+        Candidate& c =
+            batch[static_cast<size_t>(to_evaluate[static_cast<size_t>(k)])];
+        const AlphaProgram& program =
+            config_.use_pruning ? c.pruned : c.program;
+        const AlphaMetrics metrics =
+            evaluator.Evaluate(program, c.eval_seed, /*include_test=*/false);
+        double fitness = metrics.valid ? metrics.ic_valid : kInvalidFitness;
+        if (metrics.valid && !accepted_valid_returns_.empty()) {
+          for (const auto& accepted : accepted_valid_returns_) {
+            const double corr = eval::PortfolioCorrelation(
+                metrics.valid_portfolio_returns, accepted);
+            if (std::abs(corr) > config_.correlation_cutoff) {
+              c.cutoff_discarded = true;
+              fitness = kInvalidFitness;
+              break;
+            }
+          }
+        }
+        c.fitness = fitness;
+        cache_.Insert(c.fingerprint, fitness);
+      });
+
+  // Stage 4 — resolve duplicates against their first occurrence's final
+  // (post-cutoff) fitness, as a serial cache hit would have returned.
+  for (Candidate& c : batch) {
+    if (c.outcome == Candidate::Outcome::kDuplicate) {
+      c.fitness = batch[static_cast<size_t>(c.duplicate_of)].fitness;
+    }
+  }
+}
+
+void Evolution::ApplyScored(const Candidate& candidate) {
+  ++stats_.candidates;
+  switch (candidate.outcome) {
+    case Candidate::Outcome::kPrunedRedundant:
+      ++stats_.pruned_redundant;
+      break;
+    case Candidate::Outcome::kCacheHit:
+    case Candidate::Outcome::kDuplicate:
       ++stats_.cache_hits;
-      return *hit;
-    }
+      break;
+    case Candidate::Outcome::kEvaluated:
+      ++stats_.evaluated;
+      if (candidate.cutoff_discarded) ++stats_.cutoff_discarded;
+      break;
   }
+}
 
-  ++stats_.evaluated;
+AlphaMetrics Evolution::EvaluateFull(const AlphaProgram& program) {
   const uint64_t seed = config_.use_pruning
-                            ? fingerprint
-                            : HashString(candidate.ToString());
-  AlphaMetrics metrics =
-      evaluator_.Evaluate(*to_evaluate, seed, /*include_test=*/false);
-  double fitness = metrics.valid ? metrics.ic_valid : kInvalidFitness;
-
-  // Weak-correlation cutoff against the accepted set (§5.4.1).
-  if (metrics.valid && !accepted_valid_returns_.empty()) {
-    for (const auto& accepted : accepted_valid_returns_) {
-      const double corr = eval::PortfolioCorrelation(
-          metrics.valid_portfolio_returns, accepted);
-      if (std::abs(corr) > config_.correlation_cutoff) {
-        ++stats_.cutoff_discarded;
-        fitness = kInvalidFitness;
-        break;
-      }
-    }
+                            ? Fingerprint(program)
+                            : HashString(program.ToString());
+  if (pool_ != nullptr) {
+    EvaluatorPool::Lease lease(*pool_);
+    return lease->Evaluate(program, seed, /*include_test=*/true);
   }
-
-  cache_.Insert(fingerprint, fitness);
-  return fitness;
+  return serial_evaluator_->Evaluate(program, seed, /*include_test=*/true);
 }
 
 EvolutionResult Evolution::Run(const AlphaProgram& init) {
@@ -90,6 +187,7 @@ EvolutionResult Evolution::Run(const AlphaProgram& init) {
   cache_.Clear();
   stats_ = EvolutionStats{};
   const auto start = Clock::now();
+  const int batch_cap = EffectiveBatchSize();
 
   EvolutionResult result;
   std::deque<Member> population;
@@ -103,6 +201,13 @@ EvolutionResult Evolution::Run(const AlphaProgram& init) {
            Seconds(start, Clock::now()) >= config_.time_budget_seconds;
   };
 
+  // Candidates left before max_candidates; batches are clamped so the
+  // counter lands exactly on the bound, like the per-child serial check.
+  auto remaining_candidates = [&]() -> int64_t {
+    if (config_.max_candidates <= 0) return batch_cap;
+    return config_.max_candidates - stats_.candidates;
+  };
+
   double best_so_far = kInvalidFitness;
   auto record_trajectory = [&](double fitness) {
     best_so_far = std::max(best_so_far, fitness);
@@ -112,31 +217,49 @@ EvolutionResult Evolution::Run(const AlphaProgram& init) {
     }
   };
 
-  // P0: mutations of the starting parent (§3 step 1).
-  for (int i = 0; i < config_.population_size && !out_of_budget(); ++i) {
-    AlphaProgram child = mutator_.Mutate(init, rng_);
-    const double fitness = Score(child);
-    record_trajectory(fitness);
-    population.push_back({std::move(child), fitness});
+  // P0: mutations of the starting parent (§3 step 1), in batches.
+  while (static_cast<int>(population.size()) < config_.population_size &&
+         !out_of_budget()) {
+    const int b = static_cast<int>(std::min<int64_t>(
+        std::min<int64_t>(batch_cap, remaining_candidates()),
+        config_.population_size - static_cast<int>(population.size())));
+    std::vector<Candidate> batch(static_cast<size_t>(b));
+    for (Candidate& c : batch) c.program = mutator_.Mutate(init, rng_);
+    ScoreBatch(batch);
+    for (Candidate& c : batch) {
+      ApplyScored(c);
+      record_trajectory(c.fitness);
+      population.push_back({std::move(c.program), c.fitness});
+    }
   }
 
-  // Regularized evolution: tournament parent → mutate → age out the oldest.
+  // Regularized evolution: draw B tournament parents against the pre-batch
+  // population, mutate B children, score the batch, then insert/age in
+  // batch order (with B = 1 this is exactly the classic serial loop).
   while (!out_of_budget() && !population.empty()) {
-    int best_idx = rng_.UniformInt(static_cast<int>(population.size()));
-    for (int t = 1; t < config_.tournament_size; ++t) {
-      const int idx = rng_.UniformInt(static_cast<int>(population.size()));
-      if (population[static_cast<size_t>(idx)].fitness >
-          population[static_cast<size_t>(best_idx)].fitness) {
-        best_idx = idx;
+    const int b = static_cast<int>(
+        std::min<int64_t>(batch_cap, remaining_candidates()));
+    std::vector<Candidate> batch(static_cast<size_t>(b));
+    for (Candidate& c : batch) {
+      int best_idx = rng_.UniformInt(static_cast<int>(population.size()));
+      for (int t = 1; t < config_.tournament_size; ++t) {
+        const int idx = rng_.UniformInt(static_cast<int>(population.size()));
+        if (population[static_cast<size_t>(idx)].fitness >
+            population[static_cast<size_t>(best_idx)].fitness) {
+          best_idx = idx;
+        }
       }
+      c.program =
+          mutator_.Mutate(population[static_cast<size_t>(best_idx)].program,
+                          rng_);
     }
-    AlphaProgram child =
-        mutator_.Mutate(population[static_cast<size_t>(best_idx)].program,
-                        rng_);
-    const double fitness = Score(child);
-    record_trajectory(fitness);
-    population.push_back({std::move(child), fitness});
-    population.pop_front();
+    ScoreBatch(batch);
+    for (Candidate& c : batch) {
+      ApplyScored(c);
+      record_trajectory(c.fitness);
+      population.push_back({std::move(c.program), c.fitness});
+      population.pop_front();
+    }
   }
 
   stats_.elapsed_seconds = Seconds(start, Clock::now());
@@ -154,20 +277,14 @@ EvolutionResult Evolution::Run(const AlphaProgram& init) {
     result.has_alpha = true;
     result.best = best->program;
     result.best_fitness = best->fitness;
-    // Re-evaluate exactly what Score evaluated (the pruned form, with the
-    // fingerprint seed): pruned-away random ops would otherwise shift the
-    // RNG stream and change the result.
+    // Re-evaluate exactly what ScoreBatch evaluated (the pruned form, with
+    // the fingerprint seed): pruned-away random ops would otherwise shift
+    // the RNG stream and change the result.
     if (config_.use_pruning) {
-      const AlphaProgram pruned =
-          PruneRedundant(best->program, config_.mutator.limits).pruned;
-      result.best_metrics =
-          evaluator_.Evaluate(pruned, Fingerprint(pruned),
-                              /*include_test=*/true);
+      result.best_metrics = EvaluateFull(
+          PruneRedundant(best->program, config_.mutator.limits).pruned);
     } else {
-      result.best_metrics =
-          evaluator_.Evaluate(best->program,
-                              HashString(best->program.ToString()),
-                              /*include_test=*/true);
+      result.best_metrics = EvaluateFull(best->program);
     }
   }
   return result;

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/evaluator.h"
+#include "core/evaluator_pool.h"
 #include "core/fingerprint_cache.h"
 #include "core/mutator.h"
 #include "core/program.h"
@@ -38,6 +40,20 @@ struct EvolutionConfig {
   int64_t trajectory_stride = 50;
 
   uint64_t seed = 42;
+
+  /// Worker threads for batched candidate scoring. When Evolution is built
+  /// from a bare Evaluator and num_threads > 1, it spins up an internal
+  /// EvaluatorPool over the same dataset; when built from an external
+  /// EvaluatorPool, the pool's own thread count governs.
+  int num_threads = 1;
+
+  /// Children generated, scored, and inserted per evolution step (the batch
+  /// width B of batched regularized evolution). Tournament parents for a
+  /// batch are drawn before any of its children enter the population.
+  /// <= 0 picks 4 * num_threads (1 when serial). B = 1 reproduces the serial
+  /// engine's trajectory bit-for-bit; for any fixed B >= 1 the search is
+  /// deterministic in the seed and independent of the thread count.
+  int batch_size = 0;
 };
 
 /// Search counters. `candidates` = pruned_redundant + cache_hits + evaluated;
@@ -65,12 +81,26 @@ struct EvolutionResult {
 /// Regularized evolution (tournament selection + aging), with the paper's
 /// redundancy pruning, evaluation-free fingerprint cache and
 /// weak-correlation cutoff.
+///
+/// Candidates are scored in batches through a deterministic pipeline:
+/// mutate on the driving thread → prune/fingerprint → resolve cache hits and
+/// intra-batch duplicates in batch order → evaluate the unique remainder in
+/// parallel on the evaluator pool (including the correlation cutoff) →
+/// apply stats/trajectory/population updates in batch order. Results depend
+/// only on (seed, batch_size), never on the thread count.
 class Evolution {
  public:
   /// `accepted_valid_returns` holds the validation portfolio-return series
   /// of the already-accepted alpha set A; candidates whose series correlates
   /// above the cutoff with any of them are discarded (fitness = -1).
+  /// If config.num_threads > 1, an internal EvaluatorPool over the
+  /// evaluator's dataset provides the workers.
   Evolution(Evaluator& evaluator, EvolutionConfig config,
+            std::vector<std::vector<double>> accepted_valid_returns = {});
+
+  /// Shares an external pool (e.g. with other concurrent searches); the
+  /// pool's thread count governs parallelism.
+  Evolution(EvaluatorPool& pool, EvolutionConfig config,
             std::vector<std::vector<double>> accepted_valid_returns = {});
 
   /// Runs the search from the given starting parent.
@@ -82,10 +112,39 @@ class Evolution {
     double fitness;
   };
 
-  /// Scores one candidate through the prune/fingerprint/cutoff pipeline.
-  double Score(const AlphaProgram& candidate);
+  /// One candidate moving through the scoring pipeline.
+  struct Candidate {
+    enum class Outcome {
+      kPrunedRedundant,  ///< structurally redundant, never evaluated
+      kCacheHit,         ///< fingerprint already in the cache
+      kDuplicate,        ///< same fingerprint as an earlier batch member
+      kEvaluated,        ///< full evaluation (possibly cutoff-discarded)
+    };
+    AlphaProgram program;       ///< the child, as mutated
+    AlphaProgram pruned;        ///< pruned form (structural mode only)
+    uint64_t fingerprint = 0;
+    uint64_t eval_seed = 0;
+    Outcome outcome = Outcome::kEvaluated;
+    int duplicate_of = -1;      ///< batch index of the first occurrence
+    double fitness = kInvalidFitness;
+    bool cutoff_discarded = false;
+  };
 
-  Evaluator& evaluator_;
+  void Init(EvolutionConfig config);
+  int EffectiveBatchSize() const;
+  /// Runs fn(evaluator, i) for i in [0, n), parallel when a pool is set.
+  void ForEachEvaluator(int n, const std::function<void(Evaluator&, int)>& fn);
+  /// Scores a batch through the prune → fingerprint → cache → evaluate →
+  /// cutoff pipeline. Stats are NOT updated here (see ApplyScored).
+  void ScoreBatch(std::vector<Candidate>& batch);
+  /// Folds one scored candidate into the stats, in batch order.
+  void ApplyScored(const Candidate& candidate);
+  /// Re-evaluates the winning program with test-side metrics included.
+  AlphaMetrics EvaluateFull(const AlphaProgram& program);
+
+  Evaluator* serial_evaluator_ = nullptr;  ///< set when no pool drives us
+  EvaluatorPool* pool_ = nullptr;          ///< external or owned pool
+  std::unique_ptr<EvaluatorPool> owned_pool_;
   EvolutionConfig config_;
   Mutator mutator_;
   std::vector<std::vector<double>> accepted_valid_returns_;

@@ -1,7 +1,9 @@
 #ifndef ALPHAEVOLVE_CORE_FINGERPRINT_CACHE_H_
 #define ALPHAEVOLVE_CORE_FINGERPRINT_CACHE_H_
 
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -11,25 +13,65 @@ namespace alphaevolve::core {
 /// the structural fingerprint of the *pruned* program, computed without any
 /// evaluation; in the `_N` ablation it is the functional (prediction-hash)
 /// fingerprint, which requires a probe evaluation first.
+///
+/// Thread-safe: the map is sharded with one mutex per shard (mutex striping)
+/// so batch workers can insert concurrently with negligible contention. A
+/// given fingerprint always maps to the same deterministically-computed
+/// fitness, so insert order does not affect the cache contents.
 class FingerprintCache {
  public:
+  FingerprintCache() = default;
+  FingerprintCache(const FingerprintCache&) = delete;
+  FingerprintCache& operator=(const FingerprintCache&) = delete;
+
   /// Returns the cached fitness for `fingerprint`, if present.
   std::optional<double> Lookup(uint64_t fingerprint) const {
-    const auto it = map_.find(fingerprint);
-    if (it == map_.end()) return std::nullopt;
+    const Shard& shard = shards_[ShardIndex(fingerprint)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(fingerprint);
+    if (it == shard.map.end()) return std::nullopt;
     return it->second;
   }
 
   /// Records the fitness for `fingerprint` (overwrites).
   void Insert(uint64_t fingerprint, double fitness) {
-    map_[fingerprint] = fitness;
+    Shard& shard = shards_[ShardIndex(fingerprint)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[fingerprint] = fitness;
   }
 
-  size_t size() const { return map_.size(); }
-  void Clear() { map_.clear(); }
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+    }
+  }
 
  private:
-  std::unordered_map<uint64_t, double> map_;
+  static constexpr size_t kNumShards = 16;  // power of two
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, double> map;
+  };
+
+  /// Fingerprints are already hashes, but mix before taking the top bits so
+  /// shard choice is not correlated with any structure in the low bits.
+  static size_t ShardIndex(uint64_t fingerprint) {
+    uint64_t x = fingerprint * 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>(x >> 60) & (kNumShards - 1);
+  }
+
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace alphaevolve::core

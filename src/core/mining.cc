@@ -9,19 +9,60 @@ namespace alphaevolve::core {
 
 WeaklyCorrelatedMiner::WeaklyCorrelatedMiner(Evaluator& evaluator,
                                              EvolutionConfig base_config)
-    : evaluator_(evaluator), base_config_(base_config) {}
+    : evaluator_(&evaluator), base_config_(base_config) {}
 
-EvolutionResult WeaklyCorrelatedMiner::RunSearch(const AlphaProgram& init,
-                                                 uint64_t seed) {
-  EvolutionConfig config = base_config_;
-  config.seed = seed;
+WeaklyCorrelatedMiner::WeaklyCorrelatedMiner(EvaluatorPool& pool,
+                                             EvolutionConfig base_config)
+    : pool_(&pool), base_config_(base_config) {}
+
+std::vector<std::vector<double>> WeaklyCorrelatedMiner::AcceptedReturns()
+    const {
   std::vector<std::vector<double>> accepted_returns;
   accepted_returns.reserve(accepted_.size());
   for (const AcceptedAlpha& a : accepted_) {
     accepted_returns.push_back(a.metrics.valid_portfolio_returns);
   }
-  Evolution evolution(evaluator_, config, std::move(accepted_returns));
+  return accepted_returns;
+}
+
+EvolutionResult WeaklyCorrelatedMiner::RunOne(
+    const AlphaProgram& init, uint64_t seed,
+    std::vector<std::vector<double>> accepted_returns) {
+  EvolutionConfig config = base_config_;
+  config.seed = seed;
+  if (pool_ != nullptr) {
+    Evolution evolution(*pool_, config, std::move(accepted_returns));
+    return evolution.Run(init);
+  }
+  Evolution evolution(*evaluator_, config, std::move(accepted_returns));
   return evolution.Run(init);
+}
+
+EvolutionResult WeaklyCorrelatedMiner::RunSearch(const AlphaProgram& init,
+                                                 uint64_t seed) {
+  return RunOne(init, seed, AcceptedReturns());
+}
+
+std::vector<EvolutionResult> WeaklyCorrelatedMiner::RunSearches(
+    const std::vector<SearchSpec>& specs) {
+  std::vector<EvolutionResult> results(specs.size());
+  ThreadPool* thread_pool = pool_ != nullptr ? pool_->thread_pool() : nullptr;
+  if (thread_pool == nullptr || specs.size() <= 1) {
+    for (size_t s = 0; s < specs.size(); ++s) {
+      results[s] = RunOne(specs[s].init, specs[s].seed, AcceptedReturns());
+    }
+    return results;
+  }
+  // Each search is its own deterministic stream over the shared pool; the
+  // nested batch-parallelism inside Evolution::Run is safe because
+  // ThreadPool::ParallelFor is re-entrant.
+  const std::vector<std::vector<double>> accepted_returns = AcceptedReturns();
+  thread_pool->ParallelFor(static_cast<int>(specs.size()), [&](int s) {
+    results[static_cast<size_t>(s)] =
+        RunOne(specs[static_cast<size_t>(s)].init,
+               specs[static_cast<size_t>(s)].seed, accepted_returns);
+  });
+  return results;
 }
 
 void WeaklyCorrelatedMiner::Accept(std::string name,

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/evaluator_pool.h"
 #include "core/evolution.h"
 
 namespace alphaevolve::core {
@@ -23,12 +24,33 @@ struct AcceptedAlpha {
 class WeaklyCorrelatedMiner {
  public:
   /// `base_config`'s cutoff and budgets apply to every search; per-search
-  /// seeds are derived from it.
+  /// seeds are derived from it. Serial: every search runs on the caller.
   WeaklyCorrelatedMiner(Evaluator& evaluator, EvolutionConfig base_config);
+
+  /// Pool-backed: searches share the pool's workers — a single search
+  /// scores its batches in parallel, and RunSearches additionally runs
+  /// whole searches concurrently on the same pool.
+  WeaklyCorrelatedMiner(EvaluatorPool& pool, EvolutionConfig base_config);
 
   /// Runs one evolutionary search initialized from `init`, with the current
   /// accepted set as the correlation cutoff reference.
   EvolutionResult RunSearch(const AlphaProgram& init, uint64_t seed);
+
+  /// One (initialization, seed) pair of a multi-seed round.
+  struct SearchSpec {
+    AlphaProgram init;
+    uint64_t seed = 0;
+  };
+
+  /// Runs every spec against the current accepted set and returns results
+  /// in spec order. With a pool, the searches run concurrently; each is an
+  /// independent deterministic stream, so candidate-bounded searches
+  /// (max_candidates > 0) give results identical to running them serially.
+  /// Time-budgeted searches (time_budget_seconds) contend for the shared
+  /// workers, so each covers fewer candidates per wall-second than it
+  /// would alone. Accept must not be called while this runs.
+  std::vector<EvolutionResult> RunSearches(
+      const std::vector<SearchSpec>& specs);
 
   /// Admits an alpha into A.
   void Accept(std::string name, const AlphaProgram& program,
@@ -40,11 +62,16 @@ class WeaklyCorrelatedMiner {
   double CorrelationWithAccepted(const AlphaMetrics& metrics) const;
 
   const std::vector<AcceptedAlpha>& accepted() const { return accepted_; }
-  Evaluator& evaluator() { return evaluator_; }
   const EvolutionConfig& base_config() const { return base_config_; }
 
  private:
-  Evaluator& evaluator_;
+  /// Snapshot of the accepted validation-return series (the cutoff set).
+  std::vector<std::vector<double>> AcceptedReturns() const;
+  EvolutionResult RunOne(const AlphaProgram& init, uint64_t seed,
+                         std::vector<std::vector<double>> accepted_returns);
+
+  Evaluator* evaluator_ = nullptr;  ///< serial mode
+  EvaluatorPool* pool_ = nullptr;   ///< pool-backed mode
   EvolutionConfig base_config_;
   std::vector<AcceptedAlpha> accepted_;
 };

@@ -10,10 +10,16 @@
 
 namespace alphaevolve {
 
-/// Fixed-size worker pool for coarse-grained parallelism (independent search
-/// rounds, grid-search cells, seed sweeps). Tasks are plain
-/// `std::function<void()>`; exceptions escaping a task terminate the process
-/// (tasks are expected to handle their own errors).
+/// Fixed-size worker pool for coarse-grained parallelism (batched candidate
+/// evaluation, independent search rounds, grid-search cells, seed sweeps).
+/// Tasks are plain `std::function<void()>`; exceptions escaping a task
+/// terminate the process (tasks are expected to handle their own errors).
+///
+/// `ParallelFor` is re-entrant: it may be called from inside a pool task
+/// (e.g. a concurrent search that itself evaluates batches in parallel).
+/// The calling thread always participates in the loop and, while waiting
+/// for its helpers, drains other queued tasks instead of blocking, so
+/// nested parallel sections cannot deadlock the pool.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
@@ -25,20 +31,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
+  /// Enqueues a task for execution. Safe to call from inside a task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Must be called from
+  /// outside the pool (a worker calling WaitAll would wait on itself).
   void WaitAll();
 
   /// Number of worker threads.
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// The caller participates, so up to num_threads() + 1 threads execute
+  /// iterations. Safe to call from inside a pool task (see class comment).
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:
   void WorkerLoop();
+  /// Pops and runs one queued task; returns false if the queue was empty.
+  bool TryRunOneTask();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;

@@ -1,10 +1,13 @@
 #include "core/fingerprint_cache.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 #include "core/evaluator.h"
 #include "core/generators.h"
 #include "test_util.h"
+#include "util/threadpool.h"
 
 namespace alphaevolve::core {
 namespace {
@@ -33,6 +36,31 @@ TEST(FingerprintCacheTest, ClearEmpties) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Lookup(1).has_value());
+}
+
+TEST(FingerprintCacheTest, ConcurrentInsertsAndLookupsAreConsistent) {
+  // Batch workers publish fingerprints concurrently (Evolution stage 3);
+  // the sharded cache must keep every entry intact under that load.
+  FingerprintCache cache;
+  ThreadPool pool(4);
+  constexpr int kEntries = 4096;
+  pool.ParallelFor(kEntries, [&](int i) {
+    const uint64_t fp = static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL + 1;
+    cache.Insert(fp, static_cast<double>(i) / kEntries);
+    // Interleave reads of earlier keys with ongoing writes.
+    const uint64_t other =
+        static_cast<uint64_t>(i / 2) * 0x9E3779B97F4A7C15ULL + 1;
+    if (auto hit = cache.Lookup(other)) {
+      EXPECT_DOUBLE_EQ(*hit, static_cast<double>(i / 2) / kEntries);
+    }
+  });
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kEntries));
+  for (int i = 0; i < kEntries; ++i) {
+    const uint64_t fp = static_cast<uint64_t>(i) * 0x9E3779B97F4A7C15ULL + 1;
+    auto hit = cache.Lookup(fp);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_DOUBLE_EQ(*hit, static_cast<double>(i) / kEntries);
+  }
 }
 
 TEST(ProbeFingerprintTest, DeterministicAndBehaviourSensitive) {
