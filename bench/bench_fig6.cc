@@ -21,7 +21,7 @@ int main() {
   PrintBanner("Figure 6: evolutionary trajectories of round winners", opt,
               dataset);
 
-  core::EvaluatorPool pool(dataset, core::EvaluatorConfig{},
+  core::EvaluatorPool pool(dataset, MakeEvaluatorConfig(opt),
                            opt.num_threads);
   const AeStudyResult ae = RunAeStudy(pool, opt);
 

@@ -81,6 +81,68 @@ void BM_ExecutorRelationOps(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecutorRelationOps)->Arg(32)->Arg(128);
 
+// --- Intra-candidate task sharding ----------------------------------------
+// One candidate's lockstep execution over a large simulated universe (the
+// paper's 1140-stock scale), task-sharded over intra_candidate_threads.
+// The program mixes element-wise segments with cross-task relation ops so
+// both the shard kernels and the group-parallel rank path are measured.
+// `tasks_per_sec` is the headline; `speedup_vs_serial` compares each thread
+// count against the 1-thread run (registered first) of the same program.
+// Results are bit-identical across thread counts (see
+// executor_sharded_test), so this measures pure scheduling overhead/gain.
+
+double g_sharded_serial_tasks_per_sec = 0.0;
+
+void BM_ExecutorSharded(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const auto& ds = BenchDataset(1100);  // >= 1000 tasks after filters
+  core::ExecutorConfig cfg;
+  cfg.intra_candidate_threads = threads;
+  core::Executor exec(ds, cfg);
+  core::AlphaProgram prog = core::MakeExpertAlpha(ds.window());
+  core::Instruction rank;
+  rank.op = core::Op::kRank;
+  rank.out = core::kPredictionScalar;
+  rank.in1 = core::kPredictionScalar;
+  prog.predict.push_back(rank);
+  core::Instruction rrank;
+  rrank.op = core::Op::kRelationRank;
+  rrank.out = core::kPredictionScalar;
+  rrank.in1 = core::kPredictionScalar;
+  rrank.idx0 = 1;  // industry groups
+  prog.predict.push_back(rrank);
+
+  int64_t runs = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(exec.Run(prog, 1));
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++runs;
+  }
+  const int64_t tasks = runs * ds.num_tasks();
+  state.SetItemsProcessed(tasks);
+  if (seconds > 0.0) {
+    const double tps = static_cast<double>(tasks) / seconds;
+    state.counters["tasks_per_sec"] = tps;
+    if (threads == 1) {
+      g_sharded_serial_tasks_per_sec = tps;
+    } else if (g_sharded_serial_tasks_per_sec > 0.0) {
+      state.counters["speedup_vs_serial"] =
+          tps / g_sharded_serial_tasks_per_sec;
+    }
+  }
+}
+BENCHMARK(BM_ExecutorSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_PruneAndFingerprint(benchmark::State& state) {
   // The paper's evaluation-free fingerprint: microseconds per candidate.
   core::MutatorConfig mcfg;

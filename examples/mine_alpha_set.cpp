@@ -1,10 +1,16 @@
 // Weakly-correlated alpha-set mining (the paper's §5.4.1 loop): run several
 // rounds, each with the 15% cutoff against everything already accepted, and
 // show that the final set A is pairwise weakly correlated. Each round races
-// two seeds concurrently on the evaluator pool and keeps the one with the
+// two seeds concurrently on the evaluator pool — sharing one fingerprint
+// cache (same round = same fitness function) — and keeps the one with the
 // higher validation Sharpe ratio.
 //
 // Run: ./build/mine_alpha_set [rounds] [seconds_per_search] [num_threads]
+//                             [intra_candidate_threads]
+//
+// num_threads evaluates candidates concurrently (inter-candidate);
+// intra_candidate_threads task-shards each candidate's lockstep execution
+// (intra-candidate). Both levels share one thread pool.
 
 #include <algorithm>
 #include <cmath>
@@ -23,13 +29,16 @@ int main(int argc, char** argv) {
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
   const int num_threads = std::max(1, argc > 3 ? std::atoi(argv[3]) : 1);
+  const int intra_threads = std::max(1, argc > 4 ? std::atoi(argv[4]) : 1);
 
   market::MarketConfig mc = market::MarketConfig::BenchScale();
   mc.num_stocks = 80;
   mc.num_days = 420;
   mc.seed = 9;
   market::Dataset dataset = market::Dataset::Simulate(mc, {});
-  core::EvaluatorPool pool(dataset, core::EvaluatorConfig{}, num_threads);
+  core::EvaluatorConfig eval_config;
+  eval_config.executor.intra_candidate_threads = intra_threads;
+  core::EvaluatorPool pool(dataset, eval_config, num_threads);
 
   core::EvolutionConfig config;
   config.max_candidates = 0;
@@ -37,8 +46,11 @@ int main(int argc, char** argv) {
   config.num_threads = num_threads;  // batch size auto-derives (4x threads)
   core::WeaklyCorrelatedMiner miner(pool, config);
 
-  std::printf("mining %d rounds, %.1fs each, cutoff %.0f%%, %d thread(s)\n\n",
-              rounds, seconds, config.correlation_cutoff * 100, num_threads);
+  std::printf(
+      "mining %d rounds, %.1fs each, cutoff %.0f%%, %d thread(s), "
+      "%d task shard(s) per candidate\n\n",
+      rounds, seconds, config.correlation_cutoff * 100, num_threads,
+      intra_threads);
   for (int round = 0; round < rounds; ++round) {
     const core::AlphaProgram init = core::MakeExpertAlpha(dataset.window());
     // Two seeds per round, searched concurrently against the same accepted
@@ -60,6 +72,17 @@ int main(int argc, char** argv) {
     for (const core::EvolutionResult& candidate : results) {
       searched += candidate.stats.candidates;
       discarded += candidate.stats.cutoff_discarded;
+    }
+    // Per-search attribution against the round's shared fingerprint cache.
+    for (const core::SearchStats& s : miner.last_round_stats()) {
+      std::printf(
+          "  seed %llu: %lld candidates = %lld evaluated + %lld cache hits "
+          "+ %lld pruned\n",
+          static_cast<unsigned long long>(s.seed),
+          static_cast<long long>(s.candidates),
+          static_cast<long long>(s.evaluated),
+          static_cast<long long>(s.cache_hits),
+          static_cast<long long>(s.pruned_redundant));
     }
     if (r == nullptr) {
       std::printf("round %d: no uncorrelated alpha found (searched %lld)\n",

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Records the repo's perf trajectory for this PR: executor-sharding
+# throughput (BM_ExecutorSharded at 1/2/4/8 intra-candidate threads over a
+# >=1000-task universe) into BENCH_<N>.json at the repo root.
+#
+# Usage: scripts/record_bench.sh [build_dir] [out_file]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_2.json}"
+
+if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
+  echo "error: $BUILD_DIR/bench_micro not built (google-benchmark missing?)" >&2
+  exit 1
+fi
+
+"$BUILD_DIR/bench_micro" \
+  --benchmark_filter='BM_ExecutorSharded' \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "wrote $OUT"

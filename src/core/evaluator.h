@@ -2,12 +2,14 @@
 #define ALPHAEVOLVE_CORE_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/executor.h"
 #include "core/program.h"
 #include "eval/portfolio.h"
 #include "market/dataset.h"
+#include "util/threadpool.h"
 
 namespace alphaevolve::core {
 
@@ -36,10 +38,17 @@ struct EvaluatorConfig {
 /// evolutionary fitness, long-short portfolio returns and Sharpe for the
 /// weak-correlation cutoff and the paper's tables.
 ///
-/// Not thread-safe (owns one Executor); use one per thread.
+/// Not thread-safe (owns one Executor); use one per thread. The executors'
+/// intra-candidate task sharding (config.executor.intra_candidate_threads)
+/// may share an external re-entrant pool or, standalone, an owned one.
 class Evaluator {
  public:
-  Evaluator(const market::Dataset& dataset, EvaluatorConfig config);
+  /// `intra_pool` (optional) supplies the shard workers for both executors
+  /// — an EvaluatorPool passes its own pool here so every lease shares one
+  /// set of threads. When null and intra_candidate_threads > 1 the evaluator
+  /// owns a single pool shared by its full and probe executors.
+  Evaluator(const market::Dataset& dataset, EvaluatorConfig config,
+            ThreadPool* intra_pool = nullptr);
 
   /// Full evaluation. `seed` drives any random-init ops deterministically
   /// (evolution passes the program fingerprint). When `include_test` is
@@ -60,6 +69,7 @@ class Evaluator {
  private:
   const market::Dataset& dataset_;
   EvaluatorConfig config_;
+  std::unique_ptr<ThreadPool> owned_intra_pool_;  // before the executors
   Executor executor_;
   Executor probe_executor_;
 };

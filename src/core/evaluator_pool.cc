@@ -1,6 +1,7 @@
 #include "core/evaluator_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/check.h"
 
@@ -10,15 +11,22 @@ EvaluatorPool::EvaluatorPool(const market::Dataset& dataset,
                              EvaluatorConfig config, int num_threads)
     : dataset_(dataset), config_(config), num_threads_(num_threads) {
   AE_CHECK(num_threads >= 1);
-  if (num_threads > 1) {
-    thread_pool_ = std::make_unique<ThreadPool>(num_threads);
+  // One pool serves both levels: batch workers (num_threads) and each
+  // lease's intra-candidate shards. Size it for whichever level wants more
+  // concurrency; ParallelFor's caller participation supplies the +1.
+  const int intra = std::max(1, config.executor.intra_candidate_threads);
+  const int pool_threads = std::max(num_threads, intra - 1);
+  if (pool_threads > 1 || intra > 1) {
+    thread_pool_ = std::make_unique<ThreadPool>(pool_threads);
   }
 }
 
 Evaluator* EvaluatorPool::Acquire() {
   std::lock_guard<std::mutex> lock(mu_);
   if (free_.empty()) {
-    evaluators_.emplace_back(dataset_, config_);
+    // The lease shares the pool's own (re-entrant) threads for its
+    // intra-candidate sharding instead of spawning per-evaluator pools.
+    evaluators_.emplace_back(dataset_, config_, thread_pool_.get());
     return &evaluators_.back();
   }
   Evaluator* evaluator = free_.back();
@@ -34,15 +42,24 @@ void EvaluatorPool::Release(Evaluator* evaluator) {
 void EvaluatorPool::ForEach(int n,
                             const std::function<void(Evaluator&, int)>& fn) {
   if (n <= 0) return;
-  const int chunks = thread_pool_ == nullptr ? 1 : std::min(num_threads_, n);
-  if (chunks <= 1) {
+  const int workers = thread_pool_ == nullptr ? 1 : std::min(num_threads_, n);
+  if (workers <= 1) {
     Lease lease(*this);
     for (int i = 0; i < n; ++i) fn(*lease, i);
     return;
   }
-  thread_pool_->ParallelFor(chunks, [&](int chunk) {
+  // Work stealing: items are claimed one at a time from a shared counter,
+  // so uneven per-item cost (mixed probe/full batches) cannot strand whole
+  // stripes behind one slow worker. Each worker holds one lease for its
+  // lifetime; item order within a worker is irrelevant because every fn(i)
+  // is independent and deterministic.
+  std::atomic<int> next{0};
+  thread_pool_->ParallelFor(workers, [&](int) {
     Lease lease(*this);
-    for (int i = chunk; i < n; i += chunks) fn(*lease, i);
+    int i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      fn(*lease, i);
+    }
   });
 }
 

@@ -21,9 +21,17 @@ namespace alphaevolve::core {
 /// lazily on first demand and reused afterwards, so concurrent searches
 /// sharing one pool never contend on executor scratch state.
 ///
-/// With `num_threads == 1` no threads are spawned and every batched call
-/// runs inline on the caller — the serial path stays allocation- and
-/// synchronization-free in the hot loop.
+/// Two composable parallelism levels share the same threads: `num_threads`
+/// caps how many candidates are scored concurrently (inter-candidate), and
+/// `config.executor.intra_candidate_threads` shards each candidate's
+/// lockstep execution over task ranges (intra-candidate). Leased evaluators
+/// receive the pool's own re-entrant `ThreadPool` for their sharding — a
+/// per-lease shared pool handle, not per-worker thread isolation — so the
+/// two levels never over-subscribe the machine.
+///
+/// With `num_threads == 1` and no intra-candidate sharding, no threads are
+/// spawned and every batched call runs inline on the caller — the serial
+/// path stays allocation- and synchronization-free in the hot loop.
 class EvaluatorPool {
  public:
   EvaluatorPool(const market::Dataset& dataset, EvaluatorConfig config,
@@ -36,7 +44,8 @@ class EvaluatorPool {
   const market::Dataset& dataset() const { return dataset_; }
   const EvaluatorConfig& config() const { return config_; }
 
-  /// The driving pool; nullptr when the pool is serial (num_threads == 1).
+  /// The driving pool; nullptr when fully serial (num_threads == 1 and no
+  /// intra-candidate sharding configured).
   ThreadPool* thread_pool() { return thread_pool_.get(); }
 
   /// RAII checkout of one evaluator (used by workers and by callers that
@@ -73,10 +82,13 @@ class EvaluatorPool {
   std::vector<uint64_t> ProbeFingerprintBatch(
       const std::vector<EvalRequest>& batch);
 
-  /// Runs fn(evaluator, i) for i in [0, n), striping indices over up to
-  /// num_threads() concurrent chunks, each with its own leased evaluator.
-  /// The building block for the batched APIs above and for custom scoring
-  /// pipelines (see Evolution::ScoreBatch).
+  /// Runs fn(evaluator, i) for i in [0, n) over up to num_threads()
+  /// concurrent workers, each with its own leased evaluator. Indices are
+  /// claimed from a shared atomic counter (work stealing), so a worker that
+  /// drew cheap items (probe fingerprints, cache-hit short-circuits) keeps
+  /// pulling work instead of idling behind a worker stuck on expensive full
+  /// evaluations. The building block for the batched APIs above and for
+  /// custom scoring pipelines (see Evolution::ScoreBatch).
   void ForEach(int n, const std::function<void(Evaluator&, int)>& fn);
 
  private:

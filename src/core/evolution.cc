@@ -27,9 +27,14 @@ Evolution::Evolution(Evaluator& evaluator, EvolutionConfig config,
       mutator_(config.mutator),
       accepted_valid_returns_(std::move(accepted_valid_returns)) {
   Init(config);
-  if (config_.num_threads > 1) {
+  if (config_.num_threads > 1 || config_.intra_candidate_threads > 1) {
+    EvaluatorConfig pool_config = evaluator.config();
+    if (config_.intra_candidate_threads > 0) {
+      pool_config.executor.intra_candidate_threads =
+          config_.intra_candidate_threads;
+    }
     owned_pool_ = std::make_unique<EvaluatorPool>(
-        evaluator.dataset(), evaluator.config(), config_.num_threads);
+        evaluator.dataset(), pool_config, config_.num_threads);
     pool_ = owned_pool_.get();
     serial_evaluator_ = nullptr;
   }
@@ -48,6 +53,10 @@ void Evolution::Init(EvolutionConfig config) {
   AE_CHECK(config.population_size >= 2);
   AE_CHECK(config.tournament_size >= 1 &&
            config.tournament_size <= config.population_size);
+}
+
+void Evolution::UseSharedCache(FingerprintCache* cache) {
+  cache_ = cache != nullptr ? cache : &owned_cache_;
 }
 
 int Evolution::EffectiveBatchSize() const {
@@ -101,7 +110,7 @@ void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
   for (int i = 0; i < n; ++i) {
     Candidate& c = batch[static_cast<size_t>(i)];
     if (c.outcome == Candidate::Outcome::kPrunedRedundant) continue;
-    if (auto hit = cache_.Lookup(c.fingerprint)) {
+    if (auto hit = cache_->Lookup(c.fingerprint)) {
       c.outcome = Candidate::Outcome::kCacheHit;
       c.fitness = *hit;
       continue;
@@ -142,7 +151,7 @@ void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
           }
         }
         c.fitness = fitness;
-        cache_.Insert(c.fingerprint, fitness);
+        cache_->Insert(c.fingerprint, fitness);
       });
 
   // Stage 4 — resolve duplicates against their first occurrence's final
@@ -184,7 +193,9 @@ AlphaMetrics Evolution::EvaluateFull(const AlphaProgram& program) {
 
 EvolutionResult Evolution::Run(const AlphaProgram& init) {
   rng_ = Rng(config_.seed);
-  cache_.Clear();
+  // A shared cache belongs to all its sharers (it outlives any one run and
+  // must keep earlier sharers' entries); only the per-run cache is reset.
+  if (cache_ == &owned_cache_) cache_->Clear();
   stats_ = EvolutionStats{};
   const auto start = Clock::now();
   const int batch_cap = EffectiveBatchSize();

@@ -36,6 +36,15 @@ struct EvolutionConfig {
   /// Correlation cutoff against the accepted alpha set (15% in §5.4.1).
   double correlation_cutoff = 0.15;
 
+  /// Share one FingerprintCache across a round's multi-seed searches
+  /// (WeaklyCorrelatedMiner::RunSearches): every search in a round scores
+  /// the same fitness function (same dataset + same cutoff set), so one
+  /// search's evaluations short-circuit another's re-discoveries. Search
+  /// results stay deterministic; only the per-search hit/evaluated stats
+  /// split (see SearchStats) depends on scheduling. Disable for strict
+  /// stats parity with serial single-search runs.
+  bool share_round_cache = true;
+
   /// Record (candidates, best fitness) every this many candidates (Fig. 6).
   int64_t trajectory_stride = 50;
 
@@ -46,6 +55,12 @@ struct EvolutionConfig {
   /// EvaluatorPool over the same dataset; when built from an external
   /// EvaluatorPool, the pool's own thread count governs.
   int num_threads = 1;
+
+  /// Task shards per candidate execution (intra-candidate parallelism; see
+  /// ExecutorConfig::intra_candidate_threads). 0 inherits the evaluator's
+  /// executor config; > 0 overrides it when Evolution builds its internal
+  /// pool. Composes with num_threads on one shared set of workers.
+  int intra_candidate_threads = 0;
 
   /// Children generated, scored, and inserted per evolution step (the batch
   /// width B of batched regularized evolution). Tournament parents for a
@@ -106,6 +121,16 @@ class Evolution {
   /// Runs the search from the given starting parent.
   EvolutionResult Run(const AlphaProgram& init);
 
+  /// Scores through `cache` instead of the internal per-run cache. All
+  /// sharers must evaluate the same fitness function — same dataset, config
+  /// and correlation-cutoff set — so a hit returns exactly the fitness this
+  /// search would have computed itself (a round of multi-seed searches
+  /// qualifies; see WeaklyCorrelatedMiner::RunSearches). The shared cache is
+  /// never cleared by Run. Search *results* stay deterministic; only the
+  /// cache_hits / evaluated stats split becomes schedule-dependent when
+  /// sharers run concurrently.
+  void UseSharedCache(FingerprintCache* cache);
+
  private:
   struct Member {
     AlphaProgram program;
@@ -148,7 +173,8 @@ class Evolution {
   EvolutionConfig config_;
   Mutator mutator_;
   std::vector<std::vector<double>> accepted_valid_returns_;
-  FingerprintCache cache_;
+  FingerprintCache owned_cache_;
+  FingerprintCache* cache_ = &owned_cache_;  ///< may point to a shared cache
   EvolutionStats stats_;
   Rng rng_{0};
 };

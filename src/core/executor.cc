@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/opcode.h"
 #include "util/check.h"
 
 namespace alphaevolve::core {
@@ -15,7 +16,8 @@ inline double Step(double x) { return x > 0.0 ? 1.0 : 0.0; }
 
 }  // namespace
 
-Executor::Executor(const market::Dataset& dataset, ExecutorConfig config)
+Executor::Executor(const market::Dataset& dataset, ExecutorConfig config,
+                   ThreadPool* shared_pool)
     : dataset_(dataset),
       config_(config),
       num_tasks_(dataset.num_tasks()),
@@ -28,13 +30,54 @@ Executor::Executor(const market::Dataset& dataset, ExecutorConfig config)
   scalars_.resize(static_cast<size_t>(num_tasks_) * num_scalars_);
   vectors_.resize(static_cast<size_t>(num_tasks_) * num_vectors_ * n_);
   matrices_.resize(static_cast<size_t>(num_tasks_) * num_matrices_ * n_ * n_);
-  mat_scratch_.resize(static_cast<size_t>(n_) * n_);
   history_.resize(static_cast<size_t>(num_tasks_) * kHistoryCap * num_scalars_);
   rel_in_.resize(static_cast<size_t>(num_tasks_));
   rel_out_.resize(static_cast<size_t>(num_tasks_));
   rel_order_.resize(static_cast<size_t>(num_tasks_));
   all_tasks_.resize(static_cast<size_t>(num_tasks_));
   std::iota(all_tasks_.begin(), all_tasks_.end(), 0);
+
+  // Sector/industry groups partition the tasks, so prefix sums give each
+  // group a disjoint rel_order_ slice for race-free group-parallel ranking.
+  sector_order_offset_.resize(static_cast<size_t>(dataset.num_sector_groups()));
+  int offset = 0;
+  for (int g = 0; g < dataset.num_sector_groups(); ++g) {
+    sector_order_offset_[static_cast<size_t>(g)] = offset;
+    offset += static_cast<int>(dataset.sector_tasks(g).size());
+  }
+  industry_order_offset_.resize(
+      static_cast<size_t>(dataset.num_industry_groups()));
+  offset = 0;
+  for (int g = 0; g < dataset.num_industry_groups(); ++g) {
+    industry_order_offset_[static_cast<size_t>(g)] = offset;
+    offset += static_cast<int>(dataset.industry_tasks(g).size());
+  }
+
+  // Shard fan-out: `intra_candidate_threads` workers, each handling
+  // `shard_size` tasks per ParallelFor round. With an external pool the
+  // executor never spawns threads of its own; standalone it owns a pool of
+  // workers - 1 threads (the caller participates in every loop).
+  const int workers = std::max(1, config_.intra_candidate_threads);
+  if (shared_pool != nullptr) {
+    pool_ = shared_pool;
+  } else if (workers > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(workers - 1);
+    pool_ = owned_pool_.get();
+  }
+  if (pool_ != nullptr && num_tasks_ > 1 && workers > 1) {
+    shard_size_ = config_.shard_size > 0
+                      ? config_.shard_size
+                      : (num_tasks_ + workers - 1) / workers;
+    shard_size_ = std::max(1, shard_size_);
+    num_shards_ = (num_tasks_ + shard_size_ - 1) / shard_size_;
+  }
+  if (num_shards_ <= 1) {
+    num_shards_ = 1;
+    shard_size_ = std::max(1, num_tasks_);
+  }
+  // One n*n temp per shard: a shard works through its tasks sequentially,
+  // so tasks can share a slice while shards never do.
+  mat_scratch_.resize(static_cast<size_t>(num_shards_) * n_ * n_);
 }
 
 void Executor::ZeroMemory() {
@@ -46,12 +89,29 @@ void Executor::ZeroMemory() {
   hist_head_ = 0;
 }
 
-void Executor::RefreshInputs(int date) {
-  for (int k = 0; k < num_tasks_; ++k) {
-    dataset_.FillInputMatrix(k, date, Mat(k, kInputMatrix));
+void Executor::ParallelForTasks(const std::function<void(int, int)>& fn) {
+  if (num_shards_ <= 1 || pool_ == nullptr) {
+    fn(0, num_tasks_);
+    return;
   }
+  pool_->ParallelFor(num_shards_, [&](int s) {
+    const int t0 = s * shard_size_;
+    const int t1 = std::min(num_tasks_, t0 + shard_size_);
+    fn(t0, t1);
+  });
 }
 
+void Executor::RefreshInputs(int date) {
+  ParallelForTasks([&](int t0, int t1) {
+    for (int k = t0; k < t1; ++k) {
+      dataset_.FillInputMatrix(k, date, Mat(k, kInputMatrix));
+    }
+  });
+}
+
+// RecordHistory, PredictionsFinite and the relation gather/scatter copy a
+// handful of doubles per task; a shard barrier costs more than the whole
+// loop, so they stay serial (sharding them would be bit-identical anyway).
 void Executor::RecordHistory() {
   for (int k = 0; k < num_tasks_; ++k) {
     double* slot = history_.data() +
@@ -71,72 +131,104 @@ bool Executor::PredictionsFinite() {
   return true;
 }
 
+void Executor::RankGroup(const std::vector<int>& members, int* order) {
+  const int g = static_cast<int>(members.size());
+  if (g == 1) {
+    rel_out_[static_cast<size_t>(members[0])] = 0.5;
+    return;
+  }
+  // Rank members by value (ties broken by task id via stability). NaNs
+  // sort after every finite value and are mutually equivalent — a raw
+  // `<` on doubles containing NaN is not a strict weak ordering, which
+  // std::stable_sort requires.
+  for (int i = 0; i < g; ++i) order[i] = members[static_cast<size_t>(i)];
+  std::stable_sort(order, order + g, [&](int a, int b) {
+    const double va = rel_in_[static_cast<size_t>(a)];
+    const double vb = rel_in_[static_cast<size_t>(b)];
+    const bool nan_a = std::isnan(va);
+    const bool nan_b = std::isnan(vb);
+    if (nan_a || nan_b) return !nan_a && nan_b;
+    return va < vb;
+  });
+  // Average-tie fractional ranks normalized to [0, 1].
+  int i = 0;
+  while (i < g) {
+    int j = i;
+    while (j + 1 < g && rel_in_[static_cast<size_t>(order[j + 1])] ==
+                            rel_in_[static_cast<size_t>(order[i])]) {
+      ++j;
+    }
+    const double avg_rank = 0.5 * (i + j);  // 0-based average position
+    const double normalized = avg_rank / static_cast<double>(g - 1);
+    for (int q = i; q <= j; ++q) {
+      rel_out_[static_cast<size_t>(order[q])] = normalized;
+    }
+    i = j + 1;
+  }
+}
+
+void Executor::DemeanGroup(const std::vector<int>& members) {
+  double sum = 0.0;
+  for (int t : members) sum += rel_in_[static_cast<size_t>(t)];
+  const double mean = sum / static_cast<double>(members.size());
+  for (int t : members) {
+    rel_out_[static_cast<size_t>(t)] = rel_in_[static_cast<size_t>(t)] - mean;
+  }
+}
+
 void Executor::ExecRelation(const Instruction& ins) {
   // Gather the input scalar from every task at this date.
-  for (int k = 0; k < num_tasks_; ++k) rel_in_[k] = Scalars(k)[ins.in1];
-
-  auto rank_group = [&](const std::vector<int>& members) {
-    const int g = static_cast<int>(members.size());
-    if (g == 1) {
-      rel_out_[members[0]] = 0.5;
-      return;
-    }
-    // Rank members by value (ties broken by task id; NaNs sort as equal).
-    for (int i = 0; i < g; ++i) rel_order_[i] = members[i];
-    std::stable_sort(rel_order_.begin(), rel_order_.begin() + g,
-                     [&](int a, int b) { return rel_in_[a] < rel_in_[b]; });
-    // Average-tie fractional ranks normalized to [0, 1].
-    int i = 0;
-    while (i < g) {
-      int j = i;
-      while (j + 1 < g &&
-             rel_in_[rel_order_[j + 1]] == rel_in_[rel_order_[i]]) {
-        ++j;
-      }
-      const double avg_rank = 0.5 * (i + j);  // 0-based average position
-      const double normalized = avg_rank / static_cast<double>(g - 1);
-      for (int q = i; q <= j; ++q) rel_out_[rel_order_[q]] = normalized;
-      i = j + 1;
-    }
-  };
-
-  auto demean_group = [&](const std::vector<int>& members) {
-    double sum = 0.0;
-    for (int t : members) sum += rel_in_[t];
-    const double mean = sum / static_cast<double>(members.size());
-    for (int t : members) rel_out_[t] = rel_in_[t] - mean;
-  };
+  for (int k = 0; k < num_tasks_; ++k) {
+    rel_in_[static_cast<size_t>(k)] = Scalars(k)[ins.in1];
+  }
 
   switch (ins.op) {
     case Op::kRank:
-      rank_group(all_tasks_);
+      RankGroup(all_tasks_, rel_order_.data());
       break;
     case Op::kRelationRank:
     case Op::kRelationDemean: {
       const bool by_sector = ins.idx0 == 0;
       const int groups = by_sector ? dataset_.num_sector_groups()
                                    : dataset_.num_industry_groups();
-      for (int gi = 0; gi < groups; ++gi) {
+      auto run_group = [&](int gi) {
         const auto& members =
             by_sector ? dataset_.sector_tasks(gi) : dataset_.industry_tasks(gi);
         if (ins.op == Op::kRelationRank) {
-          rank_group(members);
+          const int offset =
+              by_sector ? sector_order_offset_[static_cast<size_t>(gi)]
+                        : industry_order_offset_[static_cast<size_t>(gi)];
+          RankGroup(members, rel_order_.data() + offset);
         } else {
-          demean_group(members);
+          DemeanGroup(members);
         }
+      };
+      // Groups are disjoint (distinct rel_out_ entries and rel_order_
+      // slices), so they parallelize without synchronization; each group's
+      // rank is computed identically regardless of scheduling. Small
+      // universes stay serial: per-group work is tiny next to a barrier.
+      if (num_shards_ > 1 && pool_ != nullptr && groups > 1 &&
+          num_tasks_ >= config_.group_parallel_min_tasks) {
+        pool_->ParallelFor(groups, run_group);
+      } else {
+        for (int gi = 0; gi < groups; ++gi) run_group(gi);
       }
       break;
     }
     default:
       AE_CHECK(false);
   }
-  for (int k = 0; k < num_tasks_; ++k) Scalars(k)[ins.out] = rel_out_[k];
+
+  // Scatter the result back to every task.
+  for (int k = 0; k < num_tasks_; ++k) {
+    Scalars(k)[ins.out] = rel_out_[static_cast<size_t>(k)];
+  }
 }
 
-void Executor::ExecInstruction(const Instruction& ins) {
+void Executor::ExecInstructionRange(const Instruction& ins, int t0, int t1,
+                                    uint64_t draw_id) {
   const int n = n_;
   const int nn = n * n;
-  const int K = num_tasks_;
 
   switch (ins.op) {
     case Op::kNoOp:
@@ -144,106 +236,106 @@ void Executor::ExecInstruction(const Instruction& ins) {
 
     // ---- scalar ----------------------------------------------------------
     case Op::kScalarConst:
-      for (int k = 0; k < K; ++k) Scalars(k)[ins.out] = ins.imm0;
+      for (int k = t0; k < t1; ++k) Scalars(k)[ins.out] = ins.imm0;
       return;
     case Op::kScalarAdd:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = s[ins.in1] + s[ins.in2];
       }
       return;
     case Op::kScalarSub:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = s[ins.in1] - s[ins.in2];
       }
       return;
     case Op::kScalarMul:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = s[ins.in1] * s[ins.in2];
       }
       return;
     case Op::kScalarDiv:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = s[ins.in1] / s[ins.in2];
       }
       return;
     case Op::kScalarAbs:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::abs(s[ins.in1]);
       }
       return;
     case Op::kScalarReciprocal:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = 1.0 / s[ins.in1];
       }
       return;
     case Op::kScalarSin:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::sin(s[ins.in1]);
       }
       return;
     case Op::kScalarCos:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::cos(s[ins.in1]);
       }
       return;
     case Op::kScalarTan:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::tan(s[ins.in1]);
       }
       return;
     case Op::kScalarArcSin:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::asin(s[ins.in1]);
       }
       return;
     case Op::kScalarArcCos:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::acos(s[ins.in1]);
       }
       return;
     case Op::kScalarArcTan:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::atan(s[ins.in1]);
       }
       return;
     case Op::kScalarExp:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::exp(s[ins.in1]);
       }
       return;
     case Op::kScalarLog:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::log(s[ins.in1]);
       }
       return;
     case Op::kScalarHeaviside:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = Step(s[ins.in1]);
       }
       return;
     case Op::kScalarMin:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::min(s[ins.in1], s[ins.in2]);
       }
       return;
     case Op::kScalarMax:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         double* s = Scalars(k);
         s[ins.out] = std::max(s[ins.in1], s[ins.in2]);
       }
@@ -251,12 +343,12 @@ void Executor::ExecInstruction(const Instruction& ins) {
 
     // ---- vector ----------------------------------------------------------
     case Op::kVectorConst:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         std::fill_n(Vec(k, ins.out), n, ins.imm0);
       }
       return;
     case Op::kVectorScale:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double c = Scalars(k)[ins.in2];
         const double* a = Vec(k, ins.in1);
         double* o = Vec(k, ins.out);
@@ -264,26 +356,26 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorBroadcast:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         std::fill_n(Vec(k, ins.out), n, Scalars(k)[ins.in1]);
       }
       return;
     case Op::kVectorReciprocal:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         double* o = Vec(k, ins.out);
         for (int i = 0; i < n; ++i) o[i] = 1.0 / a[i];
       }
       return;
     case Op::kVectorAbs:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         double* o = Vec(k, ins.out);
         for (int i = 0; i < n; ++i) o[i] = std::abs(a[i]);
       }
       return;
     case Op::kVectorAdd:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double* o = Vec(k, ins.out);
@@ -291,7 +383,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorSub:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double* o = Vec(k, ins.out);
@@ -299,7 +391,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorMul:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double* o = Vec(k, ins.out);
@@ -307,7 +399,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorDiv:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double* o = Vec(k, ins.out);
@@ -315,7 +407,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorMin:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double* o = Vec(k, ins.out);
@@ -323,7 +415,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorMax:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double* o = Vec(k, ins.out);
@@ -331,14 +423,14 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorHeaviside:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         double* o = Vec(k, ins.out);
         for (int i = 0; i < n; ++i) o[i] = Step(a[i]);
       }
       return;
     case Op::kVectorDot:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double acc = 0.0;
@@ -347,7 +439,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorOuter:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         const double* b = Vec(k, ins.in2);
         double* o = Mat(k, ins.out);
@@ -357,7 +449,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorNorm:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         double acc = 0.0;
         for (int i = 0; i < n; ++i) acc += a[i] * a[i];
@@ -365,7 +457,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorMean:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         double acc = 0.0;
         for (int i = 0; i < n; ++i) acc += a[i];
@@ -373,7 +465,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kVectorStd:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         double mean = 0.0;
         for (int i = 0; i < n; ++i) mean += a[i];
@@ -383,25 +475,37 @@ void Executor::ExecInstruction(const Instruction& ins) {
         Scalars(k)[ins.out] = std::sqrt(ss / n);
       }
       return;
-    case Op::kVectorUniform:
-      for (int k = 0; k < K; ++k) {
+    case Op::kVectorUniform: {
+      const CounterRng crng(run_seed_, draw_id);
+      for (int k = t0; k < t1; ++k) {
         double* o = Vec(k, ins.out);
-        for (int i = 0; i < n; ++i) o[i] = rng_.Uniform(ins.imm0, ins.imm1);
+        const uint64_t base = static_cast<uint64_t>(k) * static_cast<uint64_t>(n);
+        for (int i = 0; i < n; ++i) {
+          o[i] = crng.UniformAt(base + static_cast<uint64_t>(i), ins.imm0,
+                                ins.imm1);
+        }
       }
       return;
-    case Op::kVectorGaussian:
-      for (int k = 0; k < K; ++k) {
+    }
+    case Op::kVectorGaussian: {
+      const CounterRng crng(run_seed_, draw_id);
+      for (int k = t0; k < t1; ++k) {
         double* o = Vec(k, ins.out);
-        for (int i = 0; i < n; ++i) o[i] = rng_.Gaussian(ins.imm0, ins.imm1);
+        const uint64_t base = static_cast<uint64_t>(k) * static_cast<uint64_t>(n);
+        for (int i = 0; i < n; ++i) {
+          o[i] = crng.GaussianAt(base + static_cast<uint64_t>(i), ins.imm0,
+                                 ins.imm1);
+        }
       }
       return;
+    }
 
     // ---- matrix ----------------------------------------------------------
     case Op::kMatrixConst:
-      for (int k = 0; k < K; ++k) std::fill_n(Mat(k, ins.out), nn, ins.imm0);
+      for (int k = t0; k < t1; ++k) std::fill_n(Mat(k, ins.out), nn, ins.imm0);
       return;
     case Op::kMatrixScale:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double c = Scalars(k)[ins.in2];
         const double* a = Mat(k, ins.in1);
         double* o = Mat(k, ins.out);
@@ -409,21 +513,21 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixReciprocal:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double* o = Mat(k, ins.out);
         for (int i = 0; i < nn; ++i) o[i] = 1.0 / a[i];
       }
       return;
     case Op::kMatrixAbs:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double* o = Mat(k, ins.out);
         for (int i = 0; i < nn; ++i) o[i] = std::abs(a[i]);
       }
       return;
     case Op::kMatrixAdd:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Mat(k, ins.in2);
         double* o = Mat(k, ins.out);
@@ -431,7 +535,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixSub:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Mat(k, ins.in2);
         double* o = Mat(k, ins.out);
@@ -439,7 +543,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixMul:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Mat(k, ins.in2);
         double* o = Mat(k, ins.out);
@@ -447,7 +551,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixDiv:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Mat(k, ins.in2);
         double* o = Mat(k, ins.out);
@@ -455,7 +559,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixMin:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Mat(k, ins.in2);
         double* o = Mat(k, ins.out);
@@ -463,7 +567,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixMax:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Mat(k, ins.in2);
         double* o = Mat(k, ins.out);
@@ -471,17 +575,17 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixHeaviside:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double* o = Mat(k, ins.out);
         for (int i = 0; i < nn; ++i) o[i] = Step(a[i]);
       }
       return;
     case Op::kMatrixMatMul:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Mat(k, ins.in2);
-        double* scratch = mat_scratch_.data();
+        double* scratch = Scratch(t0);
         for (int i = 0; i < n; ++i) {
           for (int j = 0; j < n; ++j) {
             double acc = 0.0;
@@ -493,10 +597,10 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixVectorProduct:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         const double* b = Vec(k, ins.in2);
-        double* scratch = mat_scratch_.data();  // first n entries
+        double* scratch = Scratch(t0);  // first n entries
         for (int i = 0; i < n; ++i) {
           double acc = 0.0;
           for (int j = 0; j < n; ++j) acc += a[i * n + j] * b[j];
@@ -506,9 +610,9 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixTranspose:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
-        double* scratch = mat_scratch_.data();
+        double* scratch = Scratch(t0);
         for (int i = 0; i < n; ++i) {
           for (int j = 0; j < n; ++j) scratch[j * n + i] = a[i * n + j];
         }
@@ -516,7 +620,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixNorm:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double acc = 0.0;
         for (int i = 0; i < nn; ++i) acc += a[i] * a[i];
@@ -524,7 +628,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixNormAxis:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double* o = Vec(k, ins.out);
         if (ins.idx0 == 0) {  // norm down each column
@@ -543,7 +647,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixMean:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double acc = 0.0;
         for (int i = 0; i < nn; ++i) acc += a[i];
@@ -551,7 +655,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixStd:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double mean = 0.0;
         for (int i = 0; i < nn; ++i) mean += a[i];
@@ -562,7 +666,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixMeanAxis:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Mat(k, ins.in1);
         double* o = Vec(k, ins.out);
         if (ins.idx0 == 0) {  // mean down each column
@@ -581,7 +685,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
       }
       return;
     case Op::kMatrixBroadcast:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* a = Vec(k, ins.in1);
         double* o = Mat(k, ins.out);
         if (ins.idx0 == 0) {  // each row is a copy of v
@@ -595,34 +699,48 @@ void Executor::ExecInstruction(const Instruction& ins) {
         }
       }
       return;
-    case Op::kMatrixUniform:
-      for (int k = 0; k < K; ++k) {
+    case Op::kMatrixUniform: {
+      const CounterRng crng(run_seed_, draw_id);
+      for (int k = t0; k < t1; ++k) {
         double* o = Mat(k, ins.out);
-        for (int i = 0; i < nn; ++i) o[i] = rng_.Uniform(ins.imm0, ins.imm1);
+        const uint64_t base =
+            static_cast<uint64_t>(k) * static_cast<uint64_t>(nn);
+        for (int i = 0; i < nn; ++i) {
+          o[i] = crng.UniformAt(base + static_cast<uint64_t>(i), ins.imm0,
+                                ins.imm1);
+        }
       }
       return;
-    case Op::kMatrixGaussian:
-      for (int k = 0; k < K; ++k) {
+    }
+    case Op::kMatrixGaussian: {
+      const CounterRng crng(run_seed_, draw_id);
+      for (int k = t0; k < t1; ++k) {
         double* o = Mat(k, ins.out);
-        for (int i = 0; i < nn; ++i) o[i] = rng_.Gaussian(ins.imm0, ins.imm1);
+        const uint64_t base =
+            static_cast<uint64_t>(k) * static_cast<uint64_t>(nn);
+        for (int i = 0; i < nn; ++i) {
+          o[i] = crng.GaussianAt(base + static_cast<uint64_t>(i), ins.imm0,
+                                 ins.imm1);
+        }
       }
       return;
+    }
 
     // ---- extraction --------------------------------------------------------
     case Op::kGetScalar:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* m0 = Mat(k, kInputMatrix);
         Scalars(k)[ins.out] = m0[(ins.idx0 % n) * n + (ins.idx1 % n)];
       }
       return;
     case Op::kGetRow:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* m0 = Mat(k, kInputMatrix);
         std::copy_n(m0 + (ins.idx0 % n) * n, n, Vec(k, ins.out));
       }
       return;
     case Op::kGetColumn:
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double* m0 = Mat(k, kInputMatrix);
         double* o = Vec(k, ins.out);
         const int col = ins.idx0 % n;
@@ -633,7 +751,7 @@ void Executor::ExecInstruction(const Instruction& ins) {
     // ---- time series -------------------------------------------------------
     case Op::kTsRank: {
       const int w = std::max<int>(2, std::min<int>(ins.idx0, kHistoryCap));
-      for (int k = 0; k < K; ++k) {
+      for (int k = t0; k < t1; ++k) {
         const double cur = Scalars(k)[ins.in1];
         const int avail = std::min(hist_size_, w);
         if (avail == 0) {
@@ -657,27 +775,59 @@ void Executor::ExecInstruction(const Instruction& ins) {
       return;
     }
 
-    // ---- relation ------------------------------------------------------------
+    // ---- relation (handled by ExecRelation, never reaches here) -----------
     case Op::kRank:
     case Op::kRelationRank:
     case Op::kRelationDemean:
-      ExecRelation(ins);
-      return;
-
     case Op::kNumOps:
       break;
   }
   AE_CHECK_MSG(false, "unhandled op");
 }
 
+void Executor::ExecShardedSegment(const std::vector<Instruction>& instrs,
+                                  size_t begin, size_t end) {
+  // Draw ids are assigned here, serially on the driving thread, one per
+  // random-op *execution* — the (seed, draw id) key is therefore identical
+  // whether the segment then runs on 1 or N shards.
+  segment_draw_ids_.assign(end - begin, 0);
+  for (size_t i = begin; i < end; ++i) {
+    if (GetOpInfo(instrs[i].op).is_random) {
+      segment_draw_ids_[i - begin] = draw_counter_++;
+    }
+  }
+  ParallelForTasks([&](int t0, int t1) {
+    for (size_t i = begin; i < end; ++i) {
+      ExecInstructionRange(instrs[i], t0, t1, segment_draw_ids_[i - begin]);
+    }
+  });
+}
+
 void Executor::ExecComponent(const std::vector<Instruction>& instrs) {
-  for (const Instruction& ins : instrs) ExecInstruction(ins);
+  // Split into maximal runs of element-wise instructions (sharded with one
+  // barrier per run) separated by RelationOps (cross-task, group-parallel).
+  // Element-wise instructions only touch their own task's memory, so a shard
+  // can execute a whole run back-to-back without synchronizing.
+  const size_t m = instrs.size();
+  size_t i = 0;
+  while (i < m) {
+    if (GetOpInfo(instrs[i].op).is_relation) {
+      ExecRelation(instrs[i]);
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < m && !GetOpInfo(instrs[j].op).is_relation) ++j;
+    ExecShardedSegment(instrs, i, j);
+    i = j;
+  }
 }
 
 ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
                               bool include_test, int limit_train,
                               int limit_valid) {
-  rng_ = Rng(seed);
+  run_seed_ = seed;
+  draw_counter_ = 0;
   ZeroMemory();
   ExecComponent(program.setup);
 

@@ -2,11 +2,14 @@
 #define ALPHAEVOLVE_CORE_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/program.h"
 #include "market/dataset.h"
 #include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace alphaevolve::core {
 
@@ -17,6 +20,24 @@ inline constexpr int kHistoryCap = 16;
 struct ExecutorConfig {
   ProgramLimits limits;
   int train_epochs = 1;  ///< Paper §5.2: one epoch for fast evaluation.
+
+  /// Worker threads for intra-candidate task sharding (1 = serial, the
+  /// default). Element-wise kernels then run over [task_begin, task_end)
+  /// shards in parallel; results are bit-identical at every thread count.
+  /// When the executor is handed an external pool, this caps the shard
+  /// fan-out instead of spawning threads.
+  int intra_candidate_threads = 1;
+
+  /// Tasks per shard (0 = auto: split evenly across the shard workers).
+  /// Any value produces bit-identical results; the knob exists to tune
+  /// barrier overhead vs. load balance on very large universes.
+  int shard_size = 0;
+
+  /// Relation ops only fan groups out to the pool when the universe has at
+  /// least this many tasks — ranking a handful of members per group costs
+  /// less than a barrier. Bit-identical either way; lower it (e.g. to 1 in
+  /// tests) to force the concurrent group path on small datasets.
+  int group_parallel_min_tasks = 1024;
 };
 
 /// Output of one full run: predictions per evaluation date per task.
@@ -40,11 +61,30 @@ struct ExecutionResult {
 /// phase 3 are the paper's "parameters"; intermediate operands give the
 /// t-k lags in the evolved-alpha equations (§5.4.2).
 ///
-/// Not thread-safe: one Executor per thread (scratch state is reused across
-/// Run calls to avoid per-candidate allocation).
+/// Intra-candidate parallelism: with `intra_candidate_threads > 1` (or an
+/// external pool) the lockstep loop is *task-sharded*. Components are split
+/// into segments of element-wise instructions (which touch only their own
+/// task's memory) separated by RelationOps; each segment runs over task
+/// ranges on the pool with one barrier per segment, while RelationOps keep
+/// their cross-task semantics by parallelizing over sector/industry groups
+/// (gather → per-group rank/demean → scatter). Random-init ops draw from a
+/// counter-based stream (`CounterRng`) keyed by (run seed, serial draw id,
+/// task, element), so results are deterministic in the seed and invariant
+/// to both the thread count and the shard size.
+///
+/// Not thread-safe across Run calls: one Executor per driving thread
+/// (scratch state is reused across Run calls to avoid per-candidate
+/// allocation). The internal sharding may share a re-entrant ThreadPool
+/// with other executors.
 class Executor {
  public:
-  Executor(const market::Dataset& dataset, ExecutorConfig config);
+  /// `shared_pool` (optional) provides the shard workers — e.g. the
+  /// EvaluatorPool's own pool, so batch-level and shard-level parallelism
+  /// share one set of threads (ParallelFor is re-entrant). When null and
+  /// `config.intra_candidate_threads > 1`, the executor spawns its own
+  /// pool of `intra_candidate_threads - 1` workers (the caller participates).
+  Executor(const market::Dataset& dataset, ExecutorConfig config,
+           ThreadPool* shared_pool = nullptr);
 
   /// Runs the program. `seed` drives the random-init ops; the evaluator
   /// seeds it from the program fingerprint so results are reproducible and
@@ -58,6 +98,8 @@ class Executor {
 
   int num_tasks() const { return num_tasks_; }
   int n() const { return n_; }
+  /// Number of task shards a parallel section fans out to (1 = serial).
+  int num_shards() const { return num_shards_; }
 
  private:
   double* Scalars(int task) { return scalars_.data() + task * num_scalars_; }
@@ -68,13 +110,34 @@ class Executor {
     return matrices_.data() +
            (static_cast<size_t>(task) * num_matrices_ + i) * n_ * n_;
   }
+  /// Per-shard n*n scratch (matmul/transpose temporaries), addressed by the
+  /// shard-aligned range start `t0`: a shard processes its tasks one at a
+  /// time, so tasks within a shard can reuse one slice while concurrent
+  /// shards never touch each other's.
+  double* Scratch(int t0) {
+    return mat_scratch_.data() +
+           static_cast<size_t>(t0 / shard_size_) * n_ * n_;
+  }
 
   void ZeroMemory();
+  /// Runs fn(task_begin, task_end) over all tasks, sharded across the pool
+  /// when parallel (one barrier); inline on the caller when serial.
+  void ParallelForTasks(const std::function<void(int, int)>& fn);
   void RefreshInputs(int date);
   void RecordHistory();
-  /// Executes one instruction across all tasks.
-  void ExecInstruction(const Instruction& ins);
+  /// Executes one element-wise instruction for tasks [t0, t1). `draw_id` is
+  /// the instruction's serial random-draw id (unused for non-random ops).
+  void ExecInstructionRange(const Instruction& ins, int t0, int t1,
+                            uint64_t draw_id);
   void ExecRelation(const Instruction& ins);
+  /// Rank/demean over one group's members, writing rel_out_; `order_scratch`
+  /// is a caller-provided slice with space for the group's member count.
+  void RankGroup(const std::vector<int>& members, int* order_scratch);
+  void DemeanGroup(const std::vector<int>& members);
+  /// Executes instrs[begin, end) — all element-wise — for every task, with
+  /// one shard barrier for the whole segment.
+  void ExecShardedSegment(const std::vector<Instruction>& instrs,
+                          size_t begin, size_t end);
   void ExecComponent(const std::vector<Instruction>& instrs);
   /// True iff every task's s1 is finite.
   bool PredictionsFinite();
@@ -85,24 +148,39 @@ class Executor {
   int n_;  // feature/window dimension (f == w)
   int num_scalars_, num_vectors_, num_matrices_;
 
-  Rng rng_{0};
+  // Task sharding (fixed at construction; identical results at any setting).
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  int shard_size_ = 0;
+  int num_shards_ = 1;
+
+  // Counter-based random-op state: draw ids are assigned serially on the
+  // driving thread (one per random-op execution), so the (seed, draw id,
+  // task, element) key never depends on scheduling.
+  uint64_t run_seed_ = 0;
+  uint64_t draw_counter_ = 0;
+  std::vector<uint64_t> segment_draw_ids_;  // scratch, indexed per segment
 
   // Structure-of-arrays scratch, task-major.
   std::vector<double> scalars_;
   std::vector<double> vectors_;
   std::vector<double> matrices_;
-  std::vector<double> mat_scratch_;  // n*n temp for matmul/transpose
+  std::vector<double> mat_scratch_;  // per-task n*n temp (see Scratch())
 
   // ts_rank history ring: [task][slot][scalar addr].
   std::vector<double> history_;
   int hist_size_ = 0;
   int hist_head_ = 0;
 
-  // Relation-op scratch.
+  // Relation-op scratch. Groups partition the task set, so each group ranks
+  // into its own disjoint slice of rel_order_ (offsets precomputed below) —
+  // group-parallel execution without allocation or races.
   std::vector<double> rel_in_;
   std::vector<double> rel_out_;
   std::vector<int> rel_order_;
   std::vector<int> all_tasks_;
+  std::vector<int> sector_order_offset_;
+  std::vector<int> industry_order_offset_;
 };
 
 }  // namespace alphaevolve::core

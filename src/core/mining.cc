@@ -27,14 +27,17 @@ std::vector<std::vector<double>> WeaklyCorrelatedMiner::AcceptedReturns()
 
 EvolutionResult WeaklyCorrelatedMiner::RunOne(
     const AlphaProgram& init, uint64_t seed,
-    std::vector<std::vector<double>> accepted_returns) {
+    std::vector<std::vector<double>> accepted_returns,
+    FingerprintCache* shared_cache) {
   EvolutionConfig config = base_config_;
   config.seed = seed;
   if (pool_ != nullptr) {
     Evolution evolution(*pool_, config, std::move(accepted_returns));
+    evolution.UseSharedCache(shared_cache);
     return evolution.Run(init);
   }
   Evolution evolution(*evaluator_, config, std::move(accepted_returns));
+  evolution.UseSharedCache(shared_cache);
   return evolution.Run(init);
 }
 
@@ -46,22 +49,42 @@ EvolutionResult WeaklyCorrelatedMiner::RunSearch(const AlphaProgram& init,
 std::vector<EvolutionResult> WeaklyCorrelatedMiner::RunSearches(
     const std::vector<SearchSpec>& specs) {
   std::vector<EvolutionResult> results(specs.size());
+  // One cache for the whole round: every search scores the same fitness
+  // function (same dataset + same cutoff snapshot), so entries are valid
+  // across searches — both when the round runs concurrently and serially.
+  FingerprintCache round_cache;
+  FingerprintCache* shared =
+      base_config_.share_round_cache && specs.size() > 1 ? &round_cache
+                                                         : nullptr;
   ThreadPool* thread_pool = pool_ != nullptr ? pool_->thread_pool() : nullptr;
   if (thread_pool == nullptr || specs.size() <= 1) {
     for (size_t s = 0; s < specs.size(); ++s) {
-      results[s] = RunOne(specs[s].init, specs[s].seed, AcceptedReturns());
+      results[s] =
+          RunOne(specs[s].init, specs[s].seed, AcceptedReturns(), shared);
     }
-    return results;
+  } else {
+    // Each search is its own deterministic stream over the shared pool; the
+    // nested batch-parallelism inside Evolution::Run is safe because
+    // ThreadPool::ParallelFor is re-entrant.
+    const std::vector<std::vector<double>> accepted_returns =
+        AcceptedReturns();
+    thread_pool->ParallelFor(static_cast<int>(specs.size()), [&](int s) {
+      results[static_cast<size_t>(s)] =
+          RunOne(specs[static_cast<size_t>(s)].init,
+                 specs[static_cast<size_t>(s)].seed, accepted_returns, shared);
+    });
   }
-  // Each search is its own deterministic stream over the shared pool; the
-  // nested batch-parallelism inside Evolution::Run is safe because
-  // ThreadPool::ParallelFor is re-entrant.
-  const std::vector<std::vector<double>> accepted_returns = AcceptedReturns();
-  thread_pool->ParallelFor(static_cast<int>(specs.size()), [&](int s) {
-    results[static_cast<size_t>(s)] =
-        RunOne(specs[static_cast<size_t>(s)].init,
-               specs[static_cast<size_t>(s)].seed, accepted_returns);
-  });
+  last_round_stats_.clear();
+  last_round_stats_.reserve(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    SearchStats attribution;
+    attribution.seed = specs[s].seed;
+    attribution.candidates = results[s].stats.candidates;
+    attribution.cache_hits = results[s].stats.cache_hits;
+    attribution.evaluated = results[s].stats.evaluated;
+    attribution.pruned_redundant = results[s].stats.pruned_redundant;
+    last_round_stats_.push_back(attribution);
+  }
   return results;
 }
 

@@ -1,11 +1,13 @@
 #ifndef ALPHAEVOLVE_CORE_MINING_H_
 #define ALPHAEVOLVE_CORE_MINING_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/evaluator_pool.h"
 #include "core/evolution.h"
+#include "core/fingerprint_cache.h"
 
 namespace alphaevolve::core {
 
@@ -14,6 +16,21 @@ struct AcceptedAlpha {
   std::string name;
   AlphaProgram program;
   AlphaMetrics metrics;
+};
+
+/// Per-search cache attribution for the most recent RunSearches round.
+/// When the round shares one FingerprintCache (EvolutionConfig::
+/// share_round_cache), `cache_hits` counts hits against both the search's
+/// own earlier inserts and its siblings'; `evaluated` counts the misses
+/// that ran a full evaluation. candidates = cache_hits + evaluated +
+/// pruned_redundant always holds per search, but the hit/evaluated split is
+/// schedule-dependent under sharing (results are not).
+struct SearchStats {
+  uint64_t seed = 0;
+  int64_t candidates = 0;
+  int64_t cache_hits = 0;
+  int64_t evaluated = 0;
+  int64_t pruned_redundant = 0;
 };
 
 /// Multi-round weakly-correlated alpha mining (paper §5.4.1): each round
@@ -49,8 +66,20 @@ class WeaklyCorrelatedMiner {
   /// Time-budgeted searches (time_budget_seconds) contend for the shared
   /// workers, so each covers fewer candidates per wall-second than it
   /// would alone. Accept must not be called while this runs.
+  ///
+  /// When base_config.share_round_cache is set (the default), all searches
+  /// of the round share one FingerprintCache — they score the same fitness
+  /// function (same cutoff set), so cross-search hits return exactly the
+  /// fitness the search would have computed. Per-search attribution is
+  /// recorded in last_round_stats().
   std::vector<EvolutionResult> RunSearches(
       const std::vector<SearchSpec>& specs);
+
+  /// Per-search cache hit/miss attribution of the most recent RunSearches
+  /// call, in spec order (empty before the first round).
+  const std::vector<SearchStats>& last_round_stats() const {
+    return last_round_stats_;
+  }
 
   /// Admits an alpha into A.
   void Accept(std::string name, const AlphaProgram& program,
@@ -68,12 +97,14 @@ class WeaklyCorrelatedMiner {
   /// Snapshot of the accepted validation-return series (the cutoff set).
   std::vector<std::vector<double>> AcceptedReturns() const;
   EvolutionResult RunOne(const AlphaProgram& init, uint64_t seed,
-                         std::vector<std::vector<double>> accepted_returns);
+                         std::vector<std::vector<double>> accepted_returns,
+                         FingerprintCache* shared_cache = nullptr);
 
   Evaluator* evaluator_ = nullptr;  ///< serial mode
   EvaluatorPool* pool_ = nullptr;   ///< pool-backed mode
   EvolutionConfig base_config_;
   std::vector<AcceptedAlpha> accepted_;
+  std::vector<SearchStats> last_round_stats_;
 };
 
 }  // namespace alphaevolve::core

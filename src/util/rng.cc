@@ -1,5 +1,6 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -96,5 +97,49 @@ std::vector<int> Rng::Permutation(int n) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+namespace {
+
+/// Stateless splitmix64 finalizer (the increment folded into the argument).
+uint64_t Mix64(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double ToUnit(uint64_t bits) {
+  // 53 random mantissa bits -> [0, 1), as Rng::Uniform.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+CounterRng::CounterRng(uint64_t seed, uint64_t stream)
+    : key_(Mix64(seed ^ Mix64(stream))) {}
+
+uint64_t CounterRng::At(uint64_t index) const {
+  return Mix64(key_ + index * 0xD1B54A32D192ED03ULL);
+}
+
+double CounterRng::UniformAt(uint64_t index) const { return ToUnit(At(index)); }
+
+double CounterRng::UniformAt(uint64_t index, double lo, double hi) const {
+  return lo + (hi - lo) * UniformAt(index);
+}
+
+double CounterRng::GaussianAt(uint64_t index) const {
+  // Box-Muller over two sub-draws; keep log() finite without a rejection
+  // loop (a loop would need a second counter) by flooring u1 at 2^-53.
+  const double u1 =
+      std::max(ToUnit(At(index * 2)), 0x1.0p-53);
+  const double u2 = ToUnit(At(index * 2 + 1));
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double CounterRng::GaussianAt(uint64_t index, double mean,
+                              double stddev) const {
+  return mean + stddev * GaussianAt(index);
+}
 
 }  // namespace alphaevolve

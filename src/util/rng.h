@@ -56,6 +56,41 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Stateless counter-based generator: every draw is a pure function of
+/// (seed, stream, index), computed with a splitmix64-style finalizer. Unlike
+/// `Rng` there is no mutable stream to advance, so any number of threads can
+/// draw concurrently and the value at a given index never depends on which
+/// worker (or in which order) it was requested — the property the sharded
+/// executor needs to keep random-init ops bit-identical across thread counts
+/// and shard sizes.
+///
+/// Typical use: one `CounterRng(seed, draw_id)` per random-op execution
+/// (`draw_id` assigned serially on the driving thread), indexed by the
+/// flattened (task, element) position.
+class CounterRng {
+ public:
+  CounterRng(uint64_t seed, uint64_t stream);
+
+  /// Raw 64-bit value at `index`; pure, order-independent.
+  uint64_t At(uint64_t index) const;
+
+  /// Uniform double in [0, 1) at `index`.
+  double UniformAt(uint64_t index) const;
+
+  /// Uniform double in [lo, hi) at `index`.
+  double UniformAt(uint64_t index, double lo, double hi) const;
+
+  /// Standard normal at `index` (Box-Muller over two sub-draws derived from
+  /// the same index, so one index == one Gaussian).
+  double GaussianAt(uint64_t index) const;
+
+  /// Normal with the given mean and standard deviation at `index`.
+  double GaussianAt(uint64_t index, double mean, double stddev) const;
+
+ private:
+  uint64_t key_;
+};
+
 }  // namespace alphaevolve
 
 #endif  // ALPHAEVOLVE_UTIL_RNG_H_

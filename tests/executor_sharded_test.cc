@@ -1,0 +1,263 @@
+// Parity and determinism guarantees of the task-sharded executor: sharded
+// execution must be bit-identical to serial execution at every thread count
+// and shard size (including for random-init ops, via the counter-based RNG),
+// and relation ops must keep their cross-task group semantics when groups
+// run in parallel.
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/generators.h"
+#include "core/mutator.h"
+#include "market/simulator.h"
+#include "test_util.h"
+
+namespace alphaevolve::core {
+namespace {
+
+using market::Split;
+
+Instruction I(Op op, int out, int in1 = 0, int in2 = 0) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.in1 = static_cast<uint8_t>(in1);
+  ins.in2 = static_cast<uint8_t>(in2);
+  return ins;
+}
+
+Instruction RandomInit(Op op, int out, double imm0, double imm1) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.imm0 = imm0;
+  ins.imm1 = imm1;
+  return ins;
+}
+
+/// An alpha exercising every execution path: element-wise segments, random
+/// init, ts-rank history, and all three relation ops splitting segments.
+AlphaProgram MakeStressAlpha(int window) {
+  AlphaProgram prog = MakeExpertAlpha(window);
+  prog.setup.push_back(RandomInit(Op::kMatrixGaussian, 2, 0.0, 0.1));
+  prog.setup.push_back(RandomInit(Op::kVectorUniform, 2, -0.5, 0.5));
+  Instruction rank = I(Op::kRank, 6, kPredictionScalar);
+  prog.predict.push_back(rank);
+  Instruction rrank = I(Op::kRelationRank, 7, 6);
+  rrank.idx0 = 1;  // industry
+  prog.predict.push_back(rrank);
+  Instruction demean = I(Op::kRelationDemean, 5, 7);
+  demean.idx0 = 0;  // sector
+  prog.predict.push_back(demean);
+  Instruction ts = I(Op::kTsRank, 4, 5);
+  ts.idx0 = 6;
+  prog.predict.push_back(ts);
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 4, 5));
+  return prog;
+}
+
+void ExpectBitIdentical(const ExecutionResult& a, const ExecutionResult& b) {
+  ASSERT_EQ(a.valid, b.valid);
+  // operator== on vector<double> is bitwise equality per element.
+  EXPECT_EQ(a.valid_preds, b.valid_preds);
+  EXPECT_EQ(a.test_preds, b.test_preds);
+}
+
+class ExecutorShardedTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // A simulated universe with real sector/industry structure (several
+    // groups of uneven size), large enough for many shard layouts.
+    market::MarketConfig mc = market::MarketConfig::BenchScale();
+    mc.num_stocks = 40;
+    mc.num_days = 160;
+    mc.seed = 23;
+    dataset_ = new market::Dataset(
+        market::Dataset::Simulate(mc, market::DatasetConfig{}));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static market::Dataset* dataset_;
+};
+
+market::Dataset* ExecutorShardedTest::dataset_ = nullptr;
+
+TEST_F(ExecutorShardedTest, BitParityAtEveryThreadCount) {
+  const AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  Executor serial(*dataset_, ExecutorConfig{});
+  const ExecutionResult reference = serial.Run(prog, 77);
+  ASSERT_TRUE(reference.valid);
+
+  for (const int threads : {2, 3, 4, 8}) {
+    ExecutorConfig cfg;
+    cfg.intra_candidate_threads = threads;
+    cfg.group_parallel_min_tasks = 1;  // force the concurrent group path
+    Executor sharded(*dataset_, cfg);
+    EXPECT_GT(sharded.num_shards(), 1);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExpectBitIdentical(sharded.Run(prog, 77), reference);
+  }
+}
+
+TEST_F(ExecutorShardedTest, BitParityAcrossShardSizes) {
+  const AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  Executor serial(*dataset_, ExecutorConfig{});
+  const ExecutionResult reference = serial.Run(prog, 5);
+
+  // Odd shard sizes that do not divide the task count, including
+  // one-task-per-shard.
+  for (const int shard_size : {1, 7, 17, 1000}) {
+    ExecutorConfig cfg;
+    cfg.intra_candidate_threads = 4;
+    cfg.shard_size = shard_size;
+    cfg.group_parallel_min_tasks = 1;
+    Executor sharded(*dataset_, cfg);
+    SCOPED_TRACE("shard_size=" + std::to_string(shard_size));
+    ExpectBitIdentical(sharded.Run(prog, 5), reference);
+  }
+}
+
+TEST_F(ExecutorShardedTest, MutatedProgramsStayBitIdentical) {
+  // Fuzz across evolved program shapes: whatever the mutator produces must
+  // execute identically sharded and serial (including invalid runs).
+  Mutator mutator{MutatorConfig{}};
+  Rng rng(3);
+  AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  Executor serial(*dataset_, ExecutorConfig{});
+  ExecutorConfig cfg;
+  cfg.intra_candidate_threads = 4;
+  cfg.shard_size = 11;
+  cfg.group_parallel_min_tasks = 1;
+  Executor sharded(*dataset_, cfg);
+  for (int i = 0; i < 15; ++i) {
+    prog = mutator.Mutate(prog, rng);
+    SCOPED_TRACE("mutation " + std::to_string(i));
+    ExpectBitIdentical(sharded.Run(prog, 1000 + i), serial.Run(prog, 1000 + i));
+  }
+}
+
+TEST_F(ExecutorShardedTest, CounterRngDeterministicAcrossThreadCounts) {
+  // Pure random program: same seed must give the same ExecutionResult for 1
+  // and 8 threads; different seeds must differ.
+  AlphaProgram prog;
+  prog.setup.push_back(RandomInit(Op::kMatrixGaussian, 1, 0.0, 1.0));
+  prog.predict.push_back(RandomInit(Op::kVectorUniform, 2, -1.0, 1.0));
+  prog.predict.push_back(I(Op::kVectorMean, 3, 2));
+  prog.predict.push_back(I(Op::kMatrixMean, 4, 1));
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 3, 4));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor serial(*dataset_, ExecutorConfig{});
+  ExecutorConfig cfg;
+  cfg.intra_candidate_threads = 8;
+  Executor sharded(*dataset_, cfg);
+
+  const ExecutionResult r1 = serial.Run(prog, 99);
+  const ExecutionResult r8 = sharded.Run(prog, 99);
+  ASSERT_TRUE(r1.valid && r8.valid);
+  ExpectBitIdentical(r8, r1);
+
+  const ExecutionResult other_seed = sharded.Run(prog, 100);
+  ASSERT_TRUE(other_seed.valid);
+  EXPECT_NE(other_seed.valid_preds, r1.valid_preds);
+}
+
+TEST_F(ExecutorShardedTest, RelationDemeanZeroSumWithinSectorWhenSharded) {
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  Instruction get;
+  get.op = Op::kGetScalar;
+  get.out = 3;
+  get.idx0 = 0;
+  get.idx1 = static_cast<uint8_t>(w - 1);
+  prog.predict.push_back(get);
+  Instruction demean = I(Op::kRelationDemean, kPredictionScalar, 3);
+  demean.idx0 = 0;  // sector
+  prog.predict.push_back(demean);
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  ExecutorConfig cfg;
+  cfg.intra_candidate_threads = 4;
+  cfg.group_parallel_min_tasks = 1;
+  Executor exec(*dataset_, cfg);
+  const ExecutionResult r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  for (const auto& row : r.valid_preds) {
+    for (int g = 0; g < dataset_->num_sector_groups(); ++g) {
+      double sum = 0.0;
+      for (int k : dataset_->sector_tasks(g)) {
+        sum += row[static_cast<size_t>(k)];
+      }
+      EXPECT_NEAR(sum, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_F(ExecutorShardedTest, RelationRankGroupBoundsWhenSharded) {
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  Instruction get;
+  get.op = Op::kGetScalar;
+  get.out = 3;
+  get.idx0 = 0;
+  get.idx1 = static_cast<uint8_t>(w - 1);
+  prog.predict.push_back(get);
+  Instruction rr = I(Op::kRelationRank, kPredictionScalar, 3);
+  rr.idx0 = 1;  // industry
+  prog.predict.push_back(rr);
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  ExecutorConfig cfg;
+  cfg.intra_candidate_threads = 4;
+  cfg.shard_size = 3;
+  cfg.group_parallel_min_tasks = 1;
+  Executor exec(*dataset_, cfg);
+  const ExecutionResult r = exec.Run(prog, 1);
+  ASSERT_TRUE(r.valid);
+  for (const auto& row : r.valid_preds) {
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+    for (int g = 0; g < dataset_->num_industry_groups(); ++g) {
+      const auto& members = dataset_->industry_tasks(g);
+      if (members.size() < 2) continue;
+      double lo = 2.0, hi = -1.0;
+      for (int k : members) {
+        lo = std::min(lo, row[static_cast<size_t>(k)]);
+        hi = std::max(hi, row[static_cast<size_t>(k)]);
+      }
+      // Distinct values in a group imply its min ranks 0 and its max 1.
+      if (lo != hi) {
+        EXPECT_DOUBLE_EQ(lo, 0.0);
+        EXPECT_DOUBLE_EQ(hi, 1.0);
+      }
+    }
+  }
+}
+
+TEST_F(ExecutorShardedTest, EnvThreadCountCannotChangeResults) {
+  // CI runs ctest under AE_BENCH_THREADS=1 and =4; this test turns that
+  // into a thread-invariance regression check on the executor itself.
+  int env_threads = 4;
+  if (const char* env = std::getenv("AE_BENCH_THREADS")) {
+    env_threads = std::max(1, std::atoi(env));
+  }
+  const AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  Executor serial(*dataset_, ExecutorConfig{});
+  ExecutorConfig cfg;
+  cfg.intra_candidate_threads = env_threads;
+  cfg.group_parallel_min_tasks = 1;
+  Executor sharded(*dataset_, cfg);
+  ExpectBitIdentical(sharded.Run(prog, 42), serial.Run(prog, 42));
+}
+
+}  // namespace
+}  // namespace alphaevolve::core

@@ -150,6 +150,66 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(same, 4);
 }
 
+TEST(CounterRngTest, PureAndOrderIndependent) {
+  const CounterRng a(123, 7);
+  // Same (seed, stream, index) -> same value, regardless of query order or
+  // repetition — the property that makes sharded draws schedule-invariant.
+  std::vector<uint64_t> forward, backward;
+  for (uint64_t i = 0; i < 64; ++i) forward.push_back(a.At(i));
+  for (uint64_t i = 64; i-- > 0;) backward.push_back(a.At(i));
+  for (uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(forward[i], backward[63 - i]);
+    EXPECT_EQ(forward[i], CounterRng(123, 7).At(i));
+  }
+}
+
+TEST(CounterRngTest, SeedsAndStreamsGiveDistinctSequences) {
+  const CounterRng base(1, 0), other_seed(2, 0), other_stream(1, 1);
+  int differ_seed = 0, differ_stream = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    if (base.At(i) != other_seed.At(i)) ++differ_seed;
+    if (base.At(i) != other_stream.At(i)) ++differ_stream;
+  }
+  EXPECT_GT(differ_seed, 60);
+  EXPECT_GT(differ_stream, 60);
+}
+
+TEST(CounterRngTest, UniformBoundsAndMean) {
+  const CounterRng rng(9, 3);
+  double sum = 0.0;
+  const int n = 100000;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double u = rng.UniformAt(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const double u = rng.UniformAt(i, -3.5, 2.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 2.25);
+  }
+}
+
+TEST(CounterRngTest, GaussianMoments) {
+  const CounterRng rng(42, 11);
+  const int n = 100000;
+  double sum = 0, ss = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const double g = rng.GaussianAt(i);
+    sum += g;
+    ss += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(ss / n, 1.0, 0.03);
+
+  double scaled = 0;
+  for (uint64_t i = 0; i < 50000; ++i) scaled += rng.GaussianAt(i, 5.0, 0.1);
+  EXPECT_NEAR(scaled / 50000, 5.0, 0.01);
+}
+
 class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RngSeedSweep, UniformIntCoversDomainForAnySeed) {
