@@ -18,6 +18,7 @@
 #include "core/pruning.h"
 #include "ga/expr.h"
 #include "market/dataset.h"
+#include "scenario/robustness.h"
 
 namespace {
 
@@ -277,6 +278,68 @@ void BM_EvolutionPooled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EvolutionPooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Scenario-suite robustness throughput ---------------------------------
+// Fans a 2-alpha set across the standard regime suite (BENCH_3.json): each
+// (alpha, scenario) cell is a full evaluation on that scenario's dataset,
+// work-stolen by `threads` workers. Construction (dataset materialization,
+// per-scenario pools) happens outside the timing loop; `scenarios_per_sec`
+// counts scored cells, `speedup_vs_serial` compares against the 1-thread
+// run (registered first). Reports are bit-identical across thread counts
+// (see scenario_test), so this measures pure fan-out gain over a serial
+// scenario sweep.
+
+double g_robustness_serial_cells_per_sec = 0.0;
+
+void BM_RobustnessSuite(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  market::MarketConfig mc = market::MarketConfig::BenchScale();
+  mc.num_stocks = 64;
+  mc.num_days = 300;
+  mc.seed = 11;
+  scenario::ScenarioSuite suite = scenario::ScenarioSuite::Standard(mc, 77);
+  scenario::RobustnessConfig rc;
+  rc.evaluator.costs.per_side_bps = 10.0;
+  rc.num_threads = threads;
+  scenario::RobustnessEvaluator evaluator(std::move(suite), rc);
+
+  std::vector<core::AcceptedAlpha> set(2);
+  set[0].name = "expert";
+  set[0].program = core::MakeExpertAlpha(market::kNumFeatures);
+  set[1].name = "nn";
+  set[1].program = core::MakeNeuralNetAlpha(market::kNumFeatures);
+  const int64_t cells_per_run =
+      static_cast<int64_t>(set.size()) * evaluator.suite().num_scenarios();
+
+  int64_t cells = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(evaluator.EvaluateSet(set));
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    cells += cells_per_run;
+  }
+  state.SetItemsProcessed(cells);
+  if (seconds > 0.0) {
+    const double cps = static_cast<double>(cells) / seconds;
+    state.counters["scenarios_per_sec"] = cps;
+    if (threads == 1) {
+      g_robustness_serial_cells_per_sec = cps;
+    } else if (g_robustness_serial_cells_per_sec > 0.0) {
+      state.counters["speedup_vs_serial"] =
+          cps / g_robustness_serial_cells_per_sec;
+    }
+  }
+}
+BENCHMARK(BM_RobustnessSuite)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -6,22 +6,29 @@
 // higher validation Sharpe ratio.
 //
 // Run: ./build/mine_alpha_set [rounds] [seconds_per_search] [num_threads]
-//                             [intra_candidate_threads]
+//                             [intra_candidate_threads] [json_out]
 //
 // num_threads evaluates candidates concurrently (inter-candidate);
 // intra_candidate_threads task-shards each candidate's lockstep execution
-// (intra-candidate). Both levels share one thread pool.
+// (intra-candidate). Both levels share one thread pool. json_out emits the
+// accepted alpha set (program text + metrics) and every round's per-search
+// SearchStats as a diffable JSON artifact — the mining-side counterpart of
+// stress_alpha_set's robustness report.
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "core/evaluator_pool.h"
 #include "core/generators.h"
 #include "core/mining.h"
 #include "eval/metrics.h"
 #include "market/dataset.h"
+#include "util/json.h"
 
 using namespace alphaevolve;
 
@@ -30,6 +37,7 @@ int main(int argc, char** argv) {
   const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
   const int num_threads = std::max(1, argc > 3 ? std::atoi(argv[3]) : 1);
   const int intra_threads = std::max(1, argc > 4 ? std::atoi(argv[4]) : 1);
+  const char* json_out = argc > 5 ? argv[5] : nullptr;
 
   market::MarketConfig mc = market::MarketConfig::BenchScale();
   mc.num_stocks = 80;
@@ -51,6 +59,9 @@ int main(int argc, char** argv) {
       "%d task shard(s) per candidate\n\n",
       rounds, seconds, config.correlation_cutoff * 100, num_threads,
       intra_threads);
+  // Every round's per-search attribution, for the JSON artifact.
+  std::vector<std::vector<core::SearchStats>> round_stats;
+
   for (int round = 0; round < rounds; ++round) {
     const core::AlphaProgram init = core::MakeExpertAlpha(dataset.window());
     // Two seeds per round, searched concurrently against the same accepted
@@ -74,6 +85,7 @@ int main(int argc, char** argv) {
       discarded += candidate.stats.cutoff_discarded;
     }
     // Per-search attribution against the round's shared fingerprint cache.
+    round_stats.push_back(miner.last_round_stats());
     for (const core::SearchStats& s : miner.last_round_stats()) {
       std::printf(
           "  seed %llu: %lld candidates = %lld evaluated + %lld cache hits "
@@ -110,6 +122,54 @@ int main(int argc, char** argv) {
       std::printf("%7.3f", c);
     }
     std::printf("   %s\n", accepted[i].name.c_str());
+  }
+
+  // Diffable run artifact: the accepted set (program text reusing the
+  // Figure-2 `ToString` listing, which `AlphaProgram::FromString`
+  // round-trips) plus every round's per-search SearchStats.
+  if (json_out != nullptr) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("market_seed").Value(mc.seed);
+    w.Key("rounds").Value(rounds);
+    w.Key("seconds_per_search").Value(seconds);
+    w.Key("correlation_cutoff").Value(config.correlation_cutoff);
+    w.Key("round_stats").BeginArray();
+    for (const std::vector<core::SearchStats>& round : round_stats) {
+      w.BeginArray();
+      for (const core::SearchStats& s : round) {
+        w.BeginObject();
+        w.Key("seed").Value(s.seed);
+        w.Key("candidates").Value(s.candidates);
+        w.Key("evaluated").Value(s.evaluated);
+        w.Key("cache_hits").Value(s.cache_hits);
+        w.Key("pruned_redundant").Value(s.pruned_redundant);
+        w.EndObject();
+      }
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("accepted").BeginArray();
+    for (const core::AcceptedAlpha& a : accepted) {
+      w.BeginObject();
+      w.Key("name").Value(a.name);
+      w.Key("ic_valid").Value(a.metrics.ic_valid);
+      w.Key("ic_test").Value(a.metrics.ic_test);
+      w.Key("sharpe_valid").Value(a.metrics.sharpe_valid);
+      w.Key("sharpe_test").Value(a.metrics.sharpe_test);
+      w.Key("mean_turnover_test").Value(a.metrics.mean_turnover_test);
+      w.Key("program").Value(a.program.ToString());
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::ofstream out(json_out);
+    out << w.TakeString() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error: could not write %s\n", json_out);
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_out);
   }
   return 0;
 }

@@ -1,0 +1,195 @@
+// Scenario-engine walkthrough: mine a weakly correlated alpha set, then
+// stress every accepted alpha across a regime-parameterized market suite
+// (crash / bull / sideways / sector rotation / low signal / thin universe)
+// with a cost-aware backtest. The miner's accept hook wires the
+// RobustnessEvaluator into the mining loop, so each alpha entering A is
+// scored out-of-regime the moment it is admitted; the final table is the
+// per-alpha RobustnessReport (per-scenario gross/net Sharpe, worst case,
+// dispersion).
+//
+// Run: ./build/stress_alpha_set [rounds] [seconds_per_search] [num_threads]
+//                               [num_scenarios] [json_out]
+//
+// num_threads drives both the miner's batch workers and the robustness
+// fan-out over (alpha, scenario) cells; omitted or <= 0 it falls back to
+// AE_BENCH_THREADS (default 1), so CI can steer the smoke run through the
+// same knob as the benches. num_scenarios truncates the standard suite
+// (CI smoke uses 2). json_out writes the reports as a diffable artifact.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/evaluator_pool.h"
+#include "core/generators.h"
+#include "core/mining.h"
+#include "scenario/robustness.h"
+#include "util/json.h"
+
+using namespace alphaevolve;
+
+namespace {
+
+void PrintReport(const scenario::RobustnessReport& report) {
+  std::printf("  %-16s %6s %8s %8s %9s\n", report.alpha_name.c_str(), "IC",
+              "SR", "SR_net", "turnover");
+  for (const scenario::ScenarioScore& s : report.scenarios) {
+    if (!s.valid) {
+      std::printf("    %-15s (invalid: non-finite predictions)\n",
+                  s.scenario_id.c_str());
+      continue;
+    }
+    std::printf("    %-15s %+.3f %+8.2f %+8.2f %8.1f%%\n",
+                s.scenario_id.c_str(), s.ic, s.sharpe_gross, s.sharpe_net,
+                100.0 * s.mean_turnover);
+  }
+  std::printf(
+      "    => worst SR %.2f (net %.2f), mean SR %.2f (net %.2f), "
+      "dispersion %.2f over %d scenario(s)\n",
+      report.worst_sharpe_gross, report.worst_sharpe_net,
+      report.mean_sharpe_gross, report.mean_sharpe_net,
+      report.sharpe_dispersion, report.num_valid);
+}
+
+/// Writes `text` to `path`, failing loudly (CI parses the artifact next).
+bool WriteFileOrComplain(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text << "\n";
+  if (!out) {
+    std::fprintf(stderr, "error: could not write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+bool WriteJson(const std::string& path, const scenario::ScenarioSuite& suite,
+               const scenario::RobustnessConfig& rc,
+               const std::vector<scenario::RobustnessReport>& reports) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("suite_seed").Value(suite.suite_seed());
+  w.Key("cost_per_side_bps").Value(rc.evaluator.costs.per_side_bps);
+  w.Key("scenarios").BeginArray();
+  for (int i = 0; i < suite.num_scenarios(); ++i) {
+    const market::MarketConfig mc = suite.ScenarioConfig(i);
+    w.BeginObject();
+    w.Key("id").Value(suite.spec(i).id);
+    w.Key("description").Value(suite.spec(i).description);
+    w.Key("seed").Value(mc.seed);
+    w.Key("num_stocks").Value(mc.num_stocks);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("reports").BeginArray();
+  for (const scenario::RobustnessReport& r : reports) {
+    w.BeginObject();
+    w.Key("alpha").Value(r.alpha_name);
+    w.Key("num_valid").Value(r.num_valid);
+    w.Key("worst_sharpe_gross").Value(r.worst_sharpe_gross);
+    w.Key("worst_sharpe_net").Value(r.worst_sharpe_net);
+    w.Key("mean_sharpe_gross").Value(r.mean_sharpe_gross);
+    w.Key("mean_sharpe_net").Value(r.mean_sharpe_net);
+    w.Key("sharpe_dispersion").Value(r.sharpe_dispersion);
+    w.Key("scenarios").BeginArray();
+    for (const scenario::ScenarioScore& s : r.scenarios) {
+      w.BeginObject();
+      w.Key("id").Value(s.scenario_id);
+      w.Key("valid").Value(s.valid);
+      w.Key("ic").Value(s.ic);
+      w.Key("sharpe_gross").Value(s.sharpe_gross);
+      w.Key("sharpe_net").Value(s.sharpe_net);
+      w.Key("mean_turnover").Value(s.mean_turnover);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return WriteFileOrComplain(path, w.TakeString());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 2;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  int num_threads = argc > 3 ? std::atoi(argv[3]) : 0;
+  if (num_threads <= 0) {  // fall back to the benches' env knob
+    const char* env = std::getenv("AE_BENCH_THREADS");
+    num_threads = std::max(1, env != nullptr ? std::atoi(env) : 1);
+  }
+  const int num_scenarios = argc > 4 ? std::atoi(argv[4]) : 0;  // 0 = all
+  const char* json_out = argc > 5 ? argv[5] : nullptr;
+
+  // Base market the alphas are mined in; the suite derives regimes from it.
+  market::MarketConfig mc = market::MarketConfig::BenchScale();
+  mc.num_stocks = 80;
+  mc.num_days = 420;
+  mc.seed = 9;
+
+  scenario::ScenarioSuite suite = scenario::ScenarioSuite::Standard(mc, 77);
+  if (num_scenarios > 0) suite.Truncate(num_scenarios);
+
+  scenario::RobustnessConfig rc;
+  rc.evaluator.costs.per_side_bps = 10.0;  // 10 bps per transaction side
+  rc.num_threads = num_threads;
+  std::printf("materializing %d scenario(s) on %d thread(s)...\n",
+              suite.num_scenarios(), num_threads);
+  scenario::RobustnessEvaluator robustness(suite, rc);
+  for (int i = 0; i < suite.num_scenarios(); ++i) {
+    std::printf("  %-15s %4d tasks — %s\n", suite.spec(i).id.c_str(),
+                robustness.dataset(i).num_tasks(),
+                suite.spec(i).description.c_str());
+  }
+
+  // Mining setup, as in mine_alpha_set (in-regime dataset only).
+  market::Dataset dataset = market::Dataset::Simulate(mc, {});
+  core::EvaluatorConfig eval_config;
+  core::EvaluatorPool pool(dataset, eval_config, num_threads);
+  core::EvolutionConfig config;
+  config.max_candidates = 0;
+  config.time_budget_seconds = seconds;
+  config.num_threads = num_threads;
+  core::WeaklyCorrelatedMiner miner(pool, config);
+
+  // Stress each alpha the moment it enters A.
+  miner.set_accept_hook([&](const core::AcceptedAlpha& alpha) {
+    std::printf("\nstress test of newly accepted %s:\n", alpha.name.c_str());
+    PrintReport(robustness.Evaluate(alpha.program, alpha.name));
+  });
+
+  std::printf("\nmining %d round(s), %.1fs each...\n", rounds, seconds);
+  for (int round = 0; round < rounds; ++round) {
+    const core::AlphaProgram init = core::MakeExpertAlpha(dataset.window());
+    const core::EvolutionResult r =
+        miner.RunSearch(init, static_cast<uint64_t>(round) + 1);
+    if (!r.has_alpha) {
+      std::printf("round %d: no uncorrelated alpha found\n", round);
+      continue;
+    }
+    miner.Accept("alpha_" + std::to_string(round), r.best, r.best_metrics);
+  }
+
+  // Final robustness pass over the whole accepted set, parallel over the
+  // full (alpha, scenario) grid; the expert alpha rides along as context.
+  std::vector<core::AcceptedAlpha> set = miner.accepted();
+  core::AcceptedAlpha expert;
+  expert.name = "expert_baseline";
+  expert.program = core::MakeExpertAlpha(dataset.window());
+  set.push_back(expert);
+
+  std::printf("\n=== robustness report: %zu alpha(s) x %d scenario(s) ===\n",
+              set.size(), suite.num_scenarios());
+  const std::vector<scenario::RobustnessReport> reports =
+      robustness.EvaluateSet(set);
+  for (const scenario::RobustnessReport& report : reports) {
+    PrintReport(report);
+  }
+  if (json_out != nullptr && !WriteJson(json_out, suite, rc, reports)) {
+    return 1;
+  }
+  return 0;
+}

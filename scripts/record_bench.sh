@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Records the repo's perf trajectory for this PR: executor-sharding
-# throughput (BM_ExecutorSharded at 1/2/4/8 intra-candidate threads over a
-# >=1000-task universe) into BENCH_<N>.json at the repo root.
+# Records the repo's perf trajectory for this PR into BENCH_<N>.json at the
+# repo root:
+#   BENCH_2.json — executor-sharding throughput (BM_ExecutorSharded at
+#                  1/2/4/8 intra-candidate threads, >=1000-task universe)
+#   BENCH_3.json — scenario-suite robustness fan-out (BM_RobustnessSuite at
+#                  1/2/4/8 threads: scenarios/sec, speedup vs serial sweep)
 #
-# Usage: scripts/record_bench.sh [build_dir] [out_file]
+# Usage: scripts/record_bench.sh [build_dir] [sharded_out] [robustness_out]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_2.json}"
+SHARDED_OUT="${2:-BENCH_2.json}"
+ROBUSTNESS_OUT="${3:-BENCH_3.json}"
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
   echo "error: $BUILD_DIR/bench_micro not built (google-benchmark missing?)" >&2
@@ -16,8 +20,16 @@ fi
 
 "$BUILD_DIR/bench_micro" \
   --benchmark_filter='BM_ExecutorSharded' \
-  --benchmark_out="$OUT" \
+  --benchmark_out="$SHARDED_OUT" \
   --benchmark_out_format=json \
   --benchmark_repetitions=1
 
-echo "wrote $OUT"
+echo "wrote $SHARDED_OUT"
+
+"$BUILD_DIR/bench_micro" \
+  --benchmark_filter='BM_RobustnessSuite' \
+  --benchmark_out="$ROBUSTNESS_OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "wrote $ROBUSTNESS_OUT"

@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "core/pruning.h"
 #include "util/check.h"
+#include "util/stats.h"
 
 namespace alphaevolve::core {
 
@@ -48,17 +49,29 @@ AlphaMetrics Evaluator::Evaluate(const AlphaProgram& program, uint64_t seed,
   m.valid = true;
   m.ic_valid = eval::InformationCoefficient(dataset_, valid_dates,
                                             r.valid_preds);
-  m.valid_portfolio_returns = eval::PortfolioReturns(
-      dataset_, valid_dates, r.valid_preds, config_.portfolio);
-  m.sharpe_valid = eval::SharpeRatio(m.valid_portfolio_returns);
+  eval::Backtest valid_bt = eval::RunBacktest(
+      dataset_, valid_dates, r.valid_preds, config_.portfolio, config_.costs);
+  m.sharpe_valid = eval::SharpeRatio(valid_bt.gross);
+  // Costs disabled: net == gross bit for bit, so skip the recompute (this
+  // is the mining hot path).
+  m.sharpe_valid_net = config_.costs.enabled()
+                           ? eval::SharpeRatio(valid_bt.net)
+                           : m.sharpe_valid;
+  m.mean_turnover_valid = Mean(valid_bt.turnover);
+  m.valid_portfolio_returns = std::move(valid_bt.gross);
 
   if (include_test) {
     const auto& test_dates = dataset_.dates(market::Split::kTest);
     m.ic_test =
         eval::InformationCoefficient(dataset_, test_dates, r.test_preds);
-    m.test_portfolio_returns = eval::PortfolioReturns(
-        dataset_, test_dates, r.test_preds, config_.portfolio);
-    m.sharpe_test = eval::SharpeRatio(m.test_portfolio_returns);
+    eval::Backtest test_bt = eval::RunBacktest(
+        dataset_, test_dates, r.test_preds, config_.portfolio, config_.costs);
+    m.sharpe_test = eval::SharpeRatio(test_bt.gross);
+    m.sharpe_test_net = config_.costs.enabled()
+                            ? eval::SharpeRatio(test_bt.net)
+                            : m.sharpe_test;
+    m.mean_turnover_test = Mean(test_bt.turnover);
+    m.test_portfolio_returns = std::move(test_bt.gross);
   }
   return m;
 }

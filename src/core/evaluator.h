@@ -19,12 +19,19 @@ namespace alphaevolve::core {
 inline constexpr double kInvalidFitness = -1.0;
 
 /// Everything the mining loop needs to know about one evaluated alpha.
+/// Gross numbers ignore transaction costs (the paper's setting); the `_net`
+/// Sharpe ratios and mean turnovers come from the cost model in
+/// `EvaluatorConfig::costs` and coincide with gross when it is disabled.
 struct AlphaMetrics {
   bool valid = false;
   double ic_valid = kInvalidFitness;   ///< Fitness (paper Eq. 1, on S_v).
   double ic_test = 0.0;
   double sharpe_valid = 0.0;
   double sharpe_test = 0.0;
+  double sharpe_valid_net = 0.0;
+  double sharpe_test_net = 0.0;
+  double mean_turnover_valid = 0.0;  ///< Mean day-over-day book turnover.
+  double mean_turnover_test = 0.0;
   std::vector<double> valid_portfolio_returns;  ///< For the 15% cutoff.
   std::vector<double> test_portfolio_returns;
 };
@@ -32,6 +39,7 @@ struct AlphaMetrics {
 struct EvaluatorConfig {
   ExecutorConfig executor;
   eval::PortfolioConfig portfolio;
+  eval::CostConfig costs;  ///< Disabled by default (gross == net).
 };
 
 /// Scores alphas on a dataset: one-epoch training + validation IC as the

@@ -92,6 +92,7 @@ void WeaklyCorrelatedMiner::Accept(std::string name,
                                    const AlphaProgram& program,
                                    const AlphaMetrics& metrics) {
   accepted_.push_back({std::move(name), program, metrics});
+  if (accept_hook_) accept_hook_(accepted_.back());
 }
 
 double WeaklyCorrelatedMiner::CorrelationWithAccepted(

@@ -2,6 +2,7 @@
 #define ALPHAEVOLVE_CORE_MINING_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,16 @@ class WeaklyCorrelatedMiner {
   void Accept(std::string name, const AlphaProgram& program,
               const AlphaMetrics& metrics);
 
+  /// Optional observer invoked synchronously on the caller after each
+  /// Accept, with the newly admitted member. The canonical use is
+  /// out-of-regime scoring: wire a scenario::RobustnessEvaluator here so
+  /// every alpha entering A is immediately stress-tested across a market
+  /// suite (see examples/stress_alpha_set). Core stays free of a scenario
+  /// dependency; the hook owner brings its own machinery.
+  void set_accept_hook(std::function<void(const AcceptedAlpha&)> hook) {
+    accept_hook_ = std::move(hook);
+  }
+
   /// Signed correlation (on validation portfolio returns) with the
   /// most-correlated member of A; NaN if A is empty — the per-alpha
   /// "Correlation with the best alphas" column of Tables 2/3.
@@ -105,6 +116,7 @@ class WeaklyCorrelatedMiner {
   EvolutionConfig base_config_;
   std::vector<AcceptedAlpha> accepted_;
   std::vector<SearchStats> last_round_stats_;
+  std::function<void(const AcceptedAlpha&)> accept_hook_;
 };
 
 }  // namespace alphaevolve::core

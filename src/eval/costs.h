@@ -1,0 +1,48 @@
+#ifndef ALPHAEVOLVE_EVAL_COSTS_H_
+#define ALPHAEVOLVE_EVAL_COSTS_H_
+
+#include <vector>
+
+namespace alphaevolve::eval {
+
+/// Transaction-cost model for the long-short backtest.
+///
+/// Book convention (matches `PortfolioReturns`): the portfolio holds 0.5
+/// units of capital long and 0.5 short, equal-weighted over `top_n` names
+/// per side, so R_p = 0.5 * (mean long return − mean short return) is the
+/// return per unit of gross capital.
+///
+/// Turnover on a date is the fraction of book positions replaced relative
+/// to the previous date's membership:
+///
+///   turnover[d] = (#names entering the long side +
+///                  #names entering the short side) / (2 * top_n) ∈ [0, 1]
+///
+/// The first date's book is free (establishment is not charged), so a
+/// constant-membership portfolio has zero turnover everywhere.
+///
+/// Replacing a position trades twice its notional (sell the old name, buy
+/// the new), and both sides together hold 1.0 of gross capital, so a fully
+/// rotating book (turnover == 1) trades 2.0 of notional per day and pays
+///
+///   cost[d] = 2 * turnover[d] * per_side_bps * 1e-4
+///
+/// — i.e. 2×bps per day at full rotation, exactly bps per side.
+struct CostConfig {
+  /// Cost per transaction side (each buy and each sell) in basis points of
+  /// traded notional. 0 disables the model: net returns are then the gross
+  /// returns, bit for bit.
+  double per_side_bps = 0.0;
+
+  bool enabled() const { return per_side_bps > 0.0; }
+};
+
+/// Net daily returns: gross[d] − 2 * turnover[d] * per_side_bps * 1e-4.
+/// With a zero-cost config the gross series is returned unchanged.
+std::vector<double> ApplyCosts(const std::vector<double>& gross,
+                               const std::vector<double>& turnover,
+                               const CostConfig& config);
+
+}  // namespace alphaevolve::eval
+
+#endif  // ALPHAEVOLVE_EVAL_COSTS_H_

@@ -7,6 +7,27 @@
 
 namespace alphaevolve::eval {
 
+namespace {
+
+/// One date's long-short book and its gross return. `order` is the
+/// ascending ArgSort of the date's predictions: shorts are order[0, top_n),
+/// longs are order[num_tasks - top_n, num_tasks).
+double GrossReturn(const market::Dataset& dataset, int date,
+                   const std::vector<int>& order, int top_n) {
+  const int num_tasks = static_cast<int>(order.size());
+  double long_ret = 0.0, short_ret = 0.0;
+  for (int i = 0; i < top_n; ++i) {
+    short_ret += dataset.Label(order[static_cast<size_t>(i)], date);
+    long_ret +=
+        dataset.Label(order[static_cast<size_t>(num_tasks - 1 - i)], date);
+  }
+  long_ret /= top_n;
+  short_ret /= top_n;
+  return 0.5 * (long_ret - short_ret);
+}
+
+}  // namespace
+
 int PortfolioConfig::ResolveTopN(int num_tasks) const {
   if (top_n > 0) return std::min(top_n, num_tasks / 2);
   // The paper longs/shorts 50 of 1,026 stocks (~5%); at bench scale a 10%
@@ -29,17 +50,51 @@ std::vector<double> PortfolioReturns(
     const auto& preds = predictions[d];
     AE_CHECK(static_cast<int>(preds.size()) == num_tasks);
     const std::vector<int> order = ArgSort(preds);  // ascending
-    double long_ret = 0.0, short_ret = 0.0;
-    for (int i = 0; i < top_n; ++i) {
-      short_ret += dataset.Label(order[static_cast<size_t>(i)], dates[d]);
-      long_ret += dataset.Label(
-          order[static_cast<size_t>(num_tasks - 1 - i)], dates[d]);
-    }
-    long_ret /= top_n;
-    short_ret /= top_n;
-    returns.push_back(0.5 * (long_ret - short_ret));
+    returns.push_back(GrossReturn(dataset, dates[d], order, top_n));
   }
   return returns;
+}
+
+Backtest RunBacktest(const market::Dataset& dataset,
+                     const std::vector<int>& dates,
+                     const std::vector<std::vector<double>>& predictions,
+                     const PortfolioConfig& config, const CostConfig& costs) {
+  AE_CHECK(predictions.size() == dates.size());
+  const int num_tasks = dataset.num_tasks();
+  const int top_n = config.ResolveTopN(num_tasks);
+  AE_CHECK(top_n >= 1 && 2 * top_n <= num_tasks);
+
+  Backtest bt;
+  bt.gross.reserve(dates.size());
+  bt.turnover.reserve(dates.size());
+  // Previous date's membership: +1 long, -1 short, 0 out of the book.
+  std::vector<signed char> prev_side(static_cast<size_t>(num_tasks), 0);
+  std::vector<signed char> side(static_cast<size_t>(num_tasks), 0);
+  for (size_t d = 0; d < dates.size(); ++d) {
+    const auto& preds = predictions[d];
+    AE_CHECK(static_cast<int>(preds.size()) == num_tasks);
+    const std::vector<int> order = ArgSort(preds);  // ascending
+    bt.gross.push_back(GrossReturn(dataset, dates[d], order, top_n));
+
+    std::fill(side.begin(), side.end(), static_cast<signed char>(0));
+    int entering = 0;
+    for (int i = 0; i < top_n; ++i) {
+      const int short_task = order[static_cast<size_t>(i)];
+      const int long_task = order[static_cast<size_t>(num_tasks - 1 - i)];
+      side[static_cast<size_t>(short_task)] = -1;
+      side[static_cast<size_t>(long_task)] = 1;
+      if (prev_side[static_cast<size_t>(short_task)] != -1) ++entering;
+      if (prev_side[static_cast<size_t>(long_task)] != 1) ++entering;
+    }
+    // The first date's book establishment is free (see CostConfig).
+    bt.turnover.push_back(
+        d == 0 ? 0.0 : static_cast<double>(entering) / (2.0 * top_n));
+    std::swap(prev_side, side);
+  }
+  // Cost model off: leave net empty instead of materializing a dead copy of
+  // gross on the mining hot path (callers branch on costs.enabled()).
+  if (costs.enabled()) bt.net = ApplyCosts(bt.gross, bt.turnover, costs);
+  return bt;
 }
 
 std::vector<double> NavPath(const std::vector<double>& portfolio_returns) {

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "eval/costs.h"
 #include "market/dataset.h"
 
 namespace alphaevolve::eval {
@@ -30,6 +31,25 @@ std::vector<double> PortfolioReturns(
     const market::Dataset& dataset, const std::vector<int>& dates,
     const std::vector<std::vector<double>>& predictions,
     const PortfolioConfig& config);
+
+/// Cost-aware backtest output. `gross` is bit-identical to what
+/// `PortfolioReturns` computes; `turnover` follows the day-over-day
+/// membership convention of `CostConfig` (first date free, ∈ [0, 1]); `net`
+/// is `ApplyCosts(gross, turnover, costs)` when the cost model is enabled
+/// and empty otherwise (net would equal gross bit for bit).
+struct Backtest {
+  std::vector<double> gross;
+  std::vector<double> net;
+  std::vector<double> turnover;
+};
+
+/// Runs the long-short strategy of `PortfolioReturns` and additionally
+/// tracks day-over-day long/short membership to charge transaction costs.
+/// With `costs.per_side_bps == 0`, `net == gross` bit for bit.
+Backtest RunBacktest(const market::Dataset& dataset,
+                     const std::vector<int>& dates,
+                     const std::vector<std::vector<double>>& predictions,
+                     const PortfolioConfig& config, const CostConfig& costs);
 
 /// Net-asset-value path implied by the return series, NAV(0) = 1.
 std::vector<double> NavPath(const std::vector<double>& portfolio_returns);

@@ -12,6 +12,10 @@ Dataset Dataset::Build(const std::vector<StockSeries>& panel,
                        const DatasetConfig& config) {
   AE_CHECK_MSG(config.window == kNumFeatures,
                "the input matrix X must be square (f == w == 13)");
+  AE_CHECK_MSG(config.train_fraction > 0.0 && config.valid_fraction > 0.0 &&
+                   config.train_fraction + config.valid_fraction < 1.0,
+               "split fractions must be positive and leave room for a test "
+               "split (train_fraction + valid_fraction < 1)");
   AE_CHECK(!panel.empty());
 
   // The shared calendar length is the maximum series length; only stocks

@@ -81,8 +81,16 @@ std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
       config.relation_break_fraction > 0.0
           ? static_cast<int>(num_days * config.relation_break_fraction)
           : -1;
+  const int shift_day =
+      config.shift_fraction > 0.0
+          ? static_cast<int>(num_days * config.shift_fraction)
+          : num_days;  // never reached
 
   for (int t = 0; t < num_days; ++t) {
+    const bool shifted = t >= shift_day;
+    const double drift =
+        config.market_drift + (shifted ? config.shift_drift : 0.0);
+    const double vol_scale = shifted ? config.shift_vol_scale : 1.0;
     if (t == break_day) {
       // Sector rotation: the co-movement structure changes abruptly.
       for (int k = 0; k < num_stocks; ++k) {
@@ -128,14 +136,17 @@ std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
                            (1.0 - config.garch_alpha - config.garch_beta);
       st.garch_h = omega + config.garch_alpha * st.last_eps * st.last_eps +
                    config.garch_beta * st.garch_h;
+      // The regime vol scale multiplies the *realized* shock only; the GARCH
+      // state tracks the unscaled process (a scaled feedback would compound
+      // through alpha * eps^2 and blow the variance up exponentially).
       const double eps = rng.Gaussian(0.0, std::sqrt(st.garch_h));
       st.last_eps = eps;
 
       const double r =
-          st.beta_market * f_market +
+          st.beta_market * (drift + f_market) +
           st.beta_sector * f_sector[static_cast<size_t>(meta.sector)] +
           st.beta_industry * f_industry[static_cast<size_t>(meta.industry)] +
-          st.pending_signal + eps;
+          st.pending_signal + vol_scale * eps;
 
       const double prev_close = st.closes.back();
       const double close = prev_close * std::exp(r);

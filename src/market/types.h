@@ -69,6 +69,28 @@ struct MarketConfig {
   // stale into the test period. 0 disables the break.
   double relation_break_fraction = 0.0;
 
+  // --- Regime hooks (scenario engine) -----------------------------------
+  // All default to values that leave the return recursion bit-identical to
+  // the pre-hook simulator (0.0 drift adds exactly nothing; 1.0 vol scale
+  // multiplies exactly; none consume extra RNG draws), so existing seeds
+  // reproduce existing panels.
+
+  // Constant daily drift of the market factor (log-return scale). Every
+  // stock inherits it through its market beta: bull regimes use a positive
+  // value, secular-decline regimes a negative one.
+  double market_drift = 0.0;
+
+  // Late-calendar regime shift: from day >= shift_fraction * num_days the
+  // market factor gains `shift_drift` per day and realized idiosyncratic
+  // shocks are scaled by `shift_vol_scale` (the GARCH state itself stays
+  // unscaled — scaling its feedback would compound exponentially). Placing
+  // the shift past the train fraction creates a genuine out-of-regime test
+  // period — the crash scenario's defining property. shift_fraction == 0
+  // disables the shift.
+  double shift_fraction = 0.0;
+  double shift_drift = 0.0;
+  double shift_vol_scale = 1.0;
+
   // Fraction of stocks that delist early / start as penny stocks; both are
   // removed by the dataset filters, as in the paper's preprocessing.
   double delist_fraction = 0.05;

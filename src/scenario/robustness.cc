@@ -1,0 +1,125 @@
+#include "scenario/robustness.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace alphaevolve::scenario {
+
+RobustnessEvaluator::RobustnessEvaluator(ScenarioSuite suite,
+                                         RobustnessConfig config)
+    : suite_(std::move(suite)), config_(config) {
+  AE_CHECK(suite_.num_scenarios() >= 1);
+  AE_CHECK(config_.num_threads >= 1);
+  // The (alpha, scenario) grid is this evaluator's parallelism axis;
+  // intra-candidate task sharding underneath it would spawn a nested
+  // ThreadPool per scenario pool and oversubscribe the machine, so it is
+  // forced off here (see RobustnessConfig).
+  config_.evaluator.executor.intra_candidate_threads = 1;
+  if (config_.num_threads > 1) {
+    // The caller participates in ParallelFor, so N-way fan-out needs N - 1
+    // workers.
+    thread_pool_ = std::make_unique<ThreadPool>(config_.num_threads - 1);
+  }
+  datasets_ = suite_.MaterializeAll(config_.dataset, thread_pool_.get());
+  pools_.reserve(datasets_.size());
+  for (const market::Dataset& ds : datasets_) {
+    // num_threads == 1: the per-scenario pool spawns no threads of its own;
+    // it only supplies lazily created, leasable evaluators to however many
+    // fan-out workers land on this scenario concurrently.
+    pools_.push_back(
+        std::make_unique<core::EvaluatorPool>(ds, config_.evaluator, 1));
+  }
+}
+
+RobustnessReport RobustnessEvaluator::Evaluate(
+    const core::AlphaProgram& program, std::string name) {
+  return EvaluateGrid({{&program, std::move(name)}}).front();
+}
+
+std::vector<RobustnessReport> RobustnessEvaluator::EvaluateSet(
+    const std::vector<core::AcceptedAlpha>& accepted) {
+  std::vector<NamedProgram> alphas;
+  alphas.reserve(accepted.size());
+  for (const core::AcceptedAlpha& a : accepted) {
+    alphas.push_back({&a.program, a.name});
+  }
+  return EvaluateGrid(alphas);
+}
+
+std::vector<RobustnessReport> RobustnessEvaluator::EvaluateGrid(
+    const std::vector<NamedProgram>& alphas) {
+  const int num_alphas = static_cast<int>(alphas.size());
+  const int num_scenarios = suite_.num_scenarios();
+  const int cells = num_alphas * num_scenarios;
+  std::vector<ScenarioScore> scores(static_cast<size_t>(cells));
+
+  // Every cell is independent and deterministic, so work-stealing from a
+  // shared counter (the EvaluatorPool::ForEach pattern) keeps all workers
+  // busy even when scenarios differ in universe size and cost.
+  auto score_cell = [&](int cell) {
+    const int s = cell % num_scenarios;
+    const int a = cell / num_scenarios;
+    const ScenarioSpec& spec = suite_.spec(s);
+    const uint64_t seed = ScenarioKey(config_.eval_seed, spec.id);
+    core::AlphaMetrics m;
+    {
+      core::EvaluatorPool::Lease lease(*pools_[static_cast<size_t>(s)]);
+      m = lease->Evaluate(*alphas[static_cast<size_t>(a)].program, seed,
+                          /*include_test=*/true);
+    }
+    ScenarioScore& score = scores[static_cast<size_t>(cell)];
+    score.scenario_id = spec.id;
+    score.valid = m.valid;
+    if (m.valid) {
+      score.ic = m.ic_test;
+      score.sharpe_gross = m.sharpe_test;
+      score.sharpe_net = m.sharpe_test_net;
+      score.mean_turnover = m.mean_turnover_test;
+    }
+  };
+
+  const int workers =
+      thread_pool_ == nullptr ? 1 : std::min(config_.num_threads, cells);
+  if (workers <= 1) {
+    for (int cell = 0; cell < cells; ++cell) score_cell(cell);
+  } else {
+    std::atomic<int> next{0};
+    thread_pool_->ParallelFor(workers, [&](int) {
+      int cell;
+      while ((cell = next.fetch_add(1, std::memory_order_relaxed)) < cells) {
+        score_cell(cell);
+      }
+    });
+  }
+
+  // Aggregate in suite order on the caller: thread-count invariant.
+  std::vector<RobustnessReport> reports(static_cast<size_t>(num_alphas));
+  for (int a = 0; a < num_alphas; ++a) {
+    RobustnessReport& report = reports[static_cast<size_t>(a)];
+    report.alpha_name = alphas[static_cast<size_t>(a)].name;
+    std::vector<double> gross, net;
+    for (int s = 0; s < num_scenarios; ++s) {
+      const ScenarioScore& score =
+          scores[static_cast<size_t>(a * num_scenarios + s)];
+      report.scenarios.push_back(score);
+      if (!score.valid) continue;
+      gross.push_back(score.sharpe_gross);
+      net.push_back(score.sharpe_net);
+    }
+    report.num_valid = static_cast<int>(gross.size());
+    if (report.num_valid > 0) {
+      report.worst_sharpe_gross =
+          *std::min_element(gross.begin(), gross.end());
+      report.worst_sharpe_net = *std::min_element(net.begin(), net.end());
+      report.mean_sharpe_gross = Mean(gross);
+      report.mean_sharpe_net = Mean(net);
+      report.sharpe_dispersion = StdDev(gross);
+    }
+  }
+  return reports;
+}
+
+}  // namespace alphaevolve::scenario

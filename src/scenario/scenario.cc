@@ -1,0 +1,99 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+
+#include "core/pruning.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace alphaevolve::scenario {
+
+uint64_t ScenarioKey(uint64_t seed, std::string_view id) {
+  return Mix64(seed ^ core::HashString(std::string(id)));
+}
+
+ScenarioSuite ScenarioSuite::Standard(const market::MarketConfig& base,
+                                      uint64_t suite_seed) {
+  ScenarioSuite suite(base, suite_seed);
+  suite.Add({"baseline", "the base market, reseeded",
+             [](market::MarketConfig&) {}});
+  suite.Add({"crash",
+             "late-calendar crash: -60bp/day market drift, 2x GARCH vol spike",
+             [](market::MarketConfig& c) {
+               // The default 81% train split ends at calendar fraction
+               // ~0.81 + 6/num_days (the 41-day feature warmup pushes
+               // usable days late), so 0.87 keeps every training label
+               // pre-crash for num_days >= ~120: the alpha never trains
+               // on the regime it is scored in.
+               c.shift_fraction = 0.87;
+               c.shift_drift = -0.006;
+               c.shift_vol_scale = 2.0;
+             }});
+  suite.Add({"bull", "persistent +25bp/day market drift, calmer tape",
+             [](market::MarketConfig& c) {
+               c.market_drift = 0.0025;
+               c.market_vol *= 0.85;
+             }});
+  suite.Add({"sideways", "choppy range-bound tape: momentum starved",
+             [](market::MarketConfig& c) {
+               c.momentum_strength *= 0.3;
+               c.mean_reversion_strength *= 1.5;
+               c.market_vol *= 0.7;
+             }});
+  suite.Add({"sector_rotation",
+             "mid-calendar relational break, high sector dispersion",
+             [](market::MarketConfig& c) {
+               c.relation_break_fraction = 0.55;
+               c.sector_vol *= 1.8;
+               c.industry_vol *= 1.5;
+             }});
+  suite.Add({"low_signal", "both embedded signals attenuated to 25%",
+             [](market::MarketConfig& c) {
+               c.mean_reversion_strength *= 0.25;
+               c.momentum_strength *= 0.25;
+             }});
+  suite.Add({"thin_universe", "quarter-size universe, doubled delist rate",
+             [](market::MarketConfig& c) {
+               c.num_stocks = std::max(24, c.num_stocks / 4);
+               c.delist_fraction = std::min(0.3, c.delist_fraction * 2.0);
+             }});
+  return suite;
+}
+
+void ScenarioSuite::Truncate(int n) {
+  AE_CHECK(n >= 1);
+  if (n < num_scenarios()) {
+    specs_.resize(static_cast<size_t>(n));
+  }
+}
+
+market::MarketConfig ScenarioSuite::ScenarioConfig(int i) const {
+  AE_CHECK(i >= 0 && i < num_scenarios());
+  const ScenarioSpec& s = specs_[static_cast<size_t>(i)];
+  market::MarketConfig mc = base_;
+  if (s.apply) s.apply(mc);
+  mc.seed = ScenarioKey(suite_seed_, s.id);
+  return mc;
+}
+
+market::Dataset ScenarioSuite::Materialize(
+    int i, const market::DatasetConfig& dc) const {
+  return market::Dataset::Simulate(ScenarioConfig(i), dc);
+}
+
+std::vector<market::Dataset> ScenarioSuite::MaterializeAll(
+    const market::DatasetConfig& dc, ThreadPool* pool) const {
+  std::vector<market::Dataset> out(static_cast<size_t>(num_scenarios()));
+  if (pool == nullptr) {
+    for (int i = 0; i < num_scenarios(); ++i) {
+      out[static_cast<size_t>(i)] = Materialize(i, dc);
+    }
+    return out;
+  }
+  pool->ParallelFor(num_scenarios(), [&](int i) {
+    out[static_cast<size_t>(i)] = Materialize(i, dc);
+  });
+  return out;
+}
+
+}  // namespace alphaevolve::scenario

@@ -1,0 +1,92 @@
+#ifndef ALPHAEVOLVE_SCENARIO_SCENARIO_H_
+#define ALPHAEVOLVE_SCENARIO_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "market/dataset.h"
+#include "market/types.h"
+#include "util/threadpool.h"
+
+namespace alphaevolve::scenario {
+
+/// Deterministic 64-bit key of (seed, scenario id): a splitmix64 finalizer
+/// over the seed XOR an FNV-1a hash of the id. Scenario panels and
+/// evaluations are keyed by this value, so the same (suite seed, scenario
+/// id) pair always reproduces the same dataset — across processes, thread
+/// counts, and suite orderings — while different ids diverge.
+uint64_t ScenarioKey(uint64_t seed, std::string_view id);
+
+/// One named market regime: a transform applied to the suite's base
+/// `MarketConfig`. Transforms should only edit config fields (never draw
+/// randomness); the suite supplies the deterministic per-scenario seed.
+struct ScenarioSpec {
+  std::string id;           ///< Stable identifier, e.g. "crash".
+  std::string description;  ///< One line for reports.
+  std::function<void(market::MarketConfig&)> apply;  ///< Regime transform.
+};
+
+/// A named set of market regimes derived from one base configuration.
+/// `ScenarioConfig(i)` yields the fully derived config — base, transformed
+/// by the spec, reseeded with `ScenarioKey(suite seed, id)` — and
+/// `Materialize(i)` builds its `Dataset`. Materialization is a pure
+/// function of (suite seed, scenario id, base config), so suites can be
+/// built in parallel with bit-identical results.
+class ScenarioSuite {
+ public:
+  ScenarioSuite(market::MarketConfig base, uint64_t suite_seed)
+      : base_(base), suite_seed_(suite_seed) {}
+
+  /// The standard robustness suite: the regimes that separate durable
+  /// alphas from overfit ones.
+  ///   baseline         — the base config, reseeded.
+  ///   crash            — late-calendar negative drift + GARCH vol spike
+  ///                      (the shift lands past the train fraction, so the
+  ///                      test period is genuinely out-of-regime).
+  ///   bull             — persistent positive market drift, calmer vols.
+  ///   sideways         — choppy range-bound tape: momentum attenuated,
+  ///                      mean reversion amplified, trend vol dampened.
+  ///   sector_rotation  — mid-calendar relational break with high
+  ///                      sector/industry dispersion (§5.4.3).
+  ///   low_signal       — both embedded signals attenuated to 25%: how much
+  ///                      of the alpha is signal capture vs. luck.
+  ///   thin_universe    — quarter-size universe with doubled delist rate:
+  ///                      small-cross-section stability.
+  static ScenarioSuite Standard(const market::MarketConfig& base,
+                                uint64_t suite_seed);
+
+  void Add(ScenarioSpec spec) { specs_.push_back(std::move(spec)); }
+
+  /// Drops all but the first `n` scenarios (smoke tests, CI).
+  void Truncate(int n);
+
+  int num_scenarios() const { return static_cast<int>(specs_.size()); }
+  const ScenarioSpec& spec(int i) const {
+    return specs_[static_cast<size_t>(i)];
+  }
+  const market::MarketConfig& base() const { return base_; }
+  uint64_t suite_seed() const { return suite_seed_; }
+
+  /// Fully derived market config of scenario `i`.
+  market::MarketConfig ScenarioConfig(int i) const;
+
+  /// Builds scenario `i`'s dataset (deterministic in (suite seed, id)).
+  market::Dataset Materialize(int i, const market::DatasetConfig& dc) const;
+
+  /// Builds every scenario's dataset, fanning over `pool` when given.
+  /// Results are in scenario order and independent of the pool.
+  std::vector<market::Dataset> MaterializeAll(const market::DatasetConfig& dc,
+                                              ThreadPool* pool = nullptr) const;
+
+ private:
+  market::MarketConfig base_;
+  uint64_t suite_seed_;
+  std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace alphaevolve::scenario
+
+#endif  // ALPHAEVOLVE_SCENARIO_SCENARIO_H_

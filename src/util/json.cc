@@ -1,0 +1,149 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace alphaevolve {
+
+void JsonWriter::Raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::Prepare() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  // Bare values are legal inside arrays and once at the root; inside an
+  // object a Key must come first. A second root value would concatenate
+  // two documents — invalid JSON.
+  AE_CHECK(stack_.empty() ? !root_done_ : stack_.back() == '[');
+  if (stack_.empty()) root_done_ = true;
+  if (needs_comma_) Raw(",");
+}
+
+void JsonWriter::QuotedString(std::string_view text) {
+  out_.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"': Raw("\\\""); break;
+      case '\\': Raw("\\\\"); break;
+      case '\n': Raw("\\n"); break;
+      case '\r': Raw("\\r"); break;
+      case '\t': Raw("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          Raw(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prepare();
+  Raw("{");
+  stack_.push_back('{');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  AE_CHECK(!stack_.empty() && stack_.back() == '{' && !after_key_);
+  stack_.pop_back();
+  Raw("}");
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prepare();
+  Raw("[");
+  stack_.push_back('[');
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  AE_CHECK(!stack_.empty() && stack_.back() == '[');
+  stack_.pop_back();
+  Raw("]");
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  AE_CHECK(!stack_.empty() && stack_.back() == '{' && !after_key_);
+  if (needs_comma_) Raw(",");
+  QuotedString(key);
+  Raw(":");
+  needs_comma_ = false;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  Prepare();
+  QuotedString(value);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* value) {
+  return Value(std::string_view(value));
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  Prepare();
+  if (!std::isfinite(value)) {
+    Raw("null");
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    Raw(buf);
+  }
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  Prepare();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  Raw(buf);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  Prepare();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  Raw(buf);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int value) {
+  return Value(static_cast<int64_t>(value));
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  Prepare();
+  Raw(value ? "true" : "false");
+  needs_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::TakeString() {
+  AE_CHECK(stack_.empty() && !after_key_);
+  return std::move(out_);
+}
+
+}  // namespace alphaevolve

@@ -1,0 +1,58 @@
+#ifndef ALPHAEVOLVE_UTIL_JSON_H_
+#define ALPHAEVOLVE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace alphaevolve {
+
+/// Minimal streaming JSON writer for diffable run artifacts (mined alpha
+/// sets, robustness reports, bench records). Handles comma placement and
+/// string escaping; misuse — unbalanced Begin/End, a Key outside an object,
+/// a bare Value inside an object — throws CheckError instead of emitting
+/// invalid JSON.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("sharpe").Value(1.25);
+///   w.Key("scenarios").BeginArray().Value("crash").Value("bull").EndArray();
+///   w.EndObject();
+///   std::string text = w.TakeString();
+///
+/// Doubles are written with %.17g (round-trippable); non-finite doubles are
+/// written as null, matching strict-JSON consumers.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int value);
+  JsonWriter& Value(bool value);
+
+  /// Finishes (must be balanced) and returns the document.
+  std::string TakeString();
+
+ private:
+  void Prepare();  ///< Emits the pending comma, if any.
+  void Raw(std::string_view text);
+  void QuotedString(std::string_view text);
+
+  std::string out_;
+  std::vector<char> stack_;   ///< '{' or '['
+  bool needs_comma_ = false;
+  bool after_key_ = false;
+  bool root_done_ = false;    ///< A complete root value was emitted.
+};
+
+}  // namespace alphaevolve
+
+#endif  // ALPHAEVOLVE_UTIL_JSON_H_

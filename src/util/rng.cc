@@ -98,15 +98,14 @@ std::vector<int> Rng::Permutation(int n) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
-namespace {
-
-/// Stateless splitmix64 finalizer (the increment folded into the argument).
 uint64_t Mix64(uint64_t z) {
   z += 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
+
+namespace {
 
 double ToUnit(uint64_t bits) {
   // 53 random mantissa bits -> [0, 1), as Rng::Uniform.

@@ -56,6 +56,11 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Stateless splitmix64 finalizer (the increment folded into the argument):
+/// the bijective 64-bit mixer behind `CounterRng` and the scenario engine's
+/// deterministic keying. Distinct inputs give well-scattered outputs.
+uint64_t Mix64(uint64_t z);
+
 /// Stateless counter-based generator: every draw is a pure function of
 /// (seed, stream, index), computed with a splitmix64-style finalizer. Unlike
 /// `Rng` there is no mutable stream to advance, so any number of threads can

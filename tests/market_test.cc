@@ -9,6 +9,7 @@
 #include "market/features.h"
 #include "market/simulator.h"
 #include "market/universe.h"
+#include "util/check.h"
 #include "util/stats.h"
 
 namespace alphaevolve::market {
@@ -185,6 +186,32 @@ TEST(DatasetTest, FiltersRemoveDelistedAndPennyStocks) {
       EXPECT_GE(ds.Close(k, t), 1.0);
     }
   }
+}
+
+TEST(DatasetTest, RejectsInvalidSplitFractions) {
+  const MarketConfig mc = SmallConfig();
+  // train + valid must leave room for a test split...
+  DatasetConfig overfull;
+  overfull.train_fraction = 0.9;
+  overfull.valid_fraction = 0.2;
+  EXPECT_THROW(Dataset::Simulate(mc, overfull), CheckError);
+  DatasetConfig no_test;
+  no_test.train_fraction = 0.9;
+  no_test.valid_fraction = 0.1;  // exactly 1.0: still no test days
+  EXPECT_THROW(Dataset::Simulate(mc, no_test), CheckError);
+  // ...and both fractions must be positive.
+  DatasetConfig zero_valid;
+  zero_valid.valid_fraction = 0.0;
+  EXPECT_THROW(Dataset::Simulate(mc, zero_valid), CheckError);
+  DatasetConfig negative_train;
+  negative_train.train_fraction = -0.1;
+  EXPECT_THROW(Dataset::Simulate(mc, negative_train), CheckError);
+}
+
+TEST(DatasetTest, RejectsNonSquareWindow) {
+  DatasetConfig cfg;
+  cfg.window = 12;  // X must be square: window == kNumFeatures == 13
+  EXPECT_THROW(Dataset::Simulate(SmallConfig(), cfg), CheckError);
 }
 
 TEST(DatasetTest, SplitsAreChronologicalAndDisjoint) {

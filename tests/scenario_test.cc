@@ -1,0 +1,200 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/generators.h"
+#include "scenario/robustness.h"
+#include "scenario/scenario.h"
+#include "util/stats.h"
+#include "util/threadpool.h"
+
+namespace alphaevolve::scenario {
+namespace {
+
+market::MarketConfig SmallBase() {
+  market::MarketConfig mc = market::MarketConfig::BenchScale();
+  mc.num_stocks = 48;
+  mc.num_days = 220;
+  mc.seed = 3;
+  return mc;
+}
+
+/// Bitwise equality of two datasets through the public API: structure,
+/// splits, labels and feature rows over every split date.
+void ExpectDatasetsIdentical(const market::Dataset& a,
+                             const market::Dataset& b) {
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_days(), b.num_days());
+  ASSERT_EQ(a.first_usable_date(), b.first_usable_date());
+  for (market::Split split :
+       {market::Split::kTrain, market::Split::kValid, market::Split::kTest}) {
+    ASSERT_EQ(a.dates(split), b.dates(split));
+  }
+  for (int k = 0; k < a.num_tasks(); ++k) {
+    ASSERT_EQ(a.sector_of(k), b.sector_of(k));
+    ASSERT_EQ(a.industry_of(k), b.industry_of(k));
+    for (market::Split split : {market::Split::kTrain, market::Split::kValid,
+                                market::Split::kTest}) {
+      for (int date : a.dates(split)) {
+        ASSERT_EQ(a.Label(k, date), b.Label(k, date));
+        ASSERT_EQ(a.Close(k, date), b.Close(k, date));
+        const float* fa = a.FeatureRow(k, date);
+        const float* fb = b.FeatureRow(k, date);
+        for (int f = 0; f < a.num_features(); ++f) ASSERT_EQ(fa[f], fb[f]);
+      }
+    }
+  }
+}
+
+TEST(ScenarioKeyTest, DeterministicAndSensitiveToBothInputs) {
+  EXPECT_EQ(ScenarioKey(5, "crash"), ScenarioKey(5, "crash"));
+  EXPECT_NE(ScenarioKey(5, "crash"), ScenarioKey(5, "bull"));
+  EXPECT_NE(ScenarioKey(5, "crash"), ScenarioKey(6, "crash"));
+  EXPECT_NE(ScenarioKey(5, "crash"), 5u);
+}
+
+TEST(ScenarioSuiteTest, StandardSuiteHasTheNamedRegimes) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 7);
+  ASSERT_EQ(suite.num_scenarios(), 7);
+  EXPECT_EQ(suite.spec(0).id, "baseline");
+  EXPECT_EQ(suite.spec(1).id, "crash");
+  // Every scenario's derived config is reseeded by (suite seed, id).
+  for (int i = 0; i < suite.num_scenarios(); ++i) {
+    EXPECT_EQ(suite.ScenarioConfig(i).seed,
+              ScenarioKey(7, suite.spec(i).id));
+  }
+  // The crash transform installs the late-calendar regime shift.
+  const market::MarketConfig crash = suite.ScenarioConfig(1);
+  EXPECT_LT(crash.shift_drift, 0.0);
+  EXPECT_GT(crash.shift_vol_scale, 1.0);
+  EXPECT_GT(crash.shift_fraction, 0.0);
+}
+
+TEST(ScenarioSuiteTest, MaterializationIsBitIdenticalAcrossThreadCounts) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 11);
+  const market::DatasetConfig dc;
+  const std::vector<market::Dataset> serial = suite.MaterializeAll(dc);
+  ThreadPool pool(7);  // 8-way including the caller
+  const std::vector<market::Dataset> parallel =
+      suite.MaterializeAll(dc, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectDatasetsIdentical(serial[i], parallel[i]);
+  }
+  // And a re-materialization of one (suite seed, scenario id) reproduces
+  // the panel exactly.
+  ExpectDatasetsIdentical(serial[1], suite.Materialize(1, dc));
+}
+
+TEST(ScenarioSuiteTest, DifferentScenarioIdsProduceDifferentPanels) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 11);
+  const market::DatasetConfig dc;
+  // baseline vs. low_signal share every config field except the seed and
+  // signal strengths; their label panels must still diverge.
+  const market::Dataset baseline = suite.Materialize(0, dc);
+  const market::Dataset low_signal = suite.Materialize(5, dc);
+  ASSERT_EQ(suite.spec(5).id, "low_signal");
+  bool any_diff = false;
+  const int tasks = std::min(baseline.num_tasks(), low_signal.num_tasks());
+  for (int k = 0; k < tasks && !any_diff; ++k) {
+    for (int date : baseline.dates(market::Split::kValid)) {
+      if (baseline.Label(k, date) != low_signal.Label(k, date)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ScenarioSuiteTest, CrashRegimeDepressesLateCalendarReturns) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 19);
+  const market::DatasetConfig dc;
+  const market::Dataset baseline = suite.Materialize(0, dc);
+  const market::Dataset crash = suite.Materialize(1, dc);
+  auto mean_test_label = [](const market::Dataset& ds) {
+    double sum = 0.0;
+    int n = 0;
+    for (int date : ds.dates(market::Split::kTest)) {
+      for (int k = 0; k < ds.num_tasks(); ++k) {
+        sum += ds.Label(k, date);
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  // -60bp/day of market drift through unit-ish betas: the crash regime's
+  // test-period mean return sits far below the baseline's.
+  EXPECT_LT(mean_test_label(crash), mean_test_label(baseline) - 0.002);
+}
+
+TEST(RobustnessEvaluatorTest, ReportsAreInvariantToThreadCount) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 23);
+  suite.Truncate(3);  // baseline, crash, bull — keep the test fast
+
+  std::vector<core::AcceptedAlpha> set(2);
+  set[0].name = "expert";
+  set[0].program = core::MakeExpertAlpha(market::kNumFeatures);
+  set[1].name = "nn";
+  set[1].program = core::MakeNeuralNetAlpha(market::kNumFeatures);
+
+  RobustnessConfig rc;
+  rc.evaluator.costs.per_side_bps = 10.0;
+  rc.num_threads = 1;
+  RobustnessEvaluator serial(suite, rc);
+  const auto serial_reports = serial.EvaluateSet(set);
+
+  rc.num_threads = 8;
+  RobustnessEvaluator parallel(suite, rc);
+  const auto parallel_reports = parallel.EvaluateSet(set);
+
+  ASSERT_EQ(serial_reports.size(), parallel_reports.size());
+  for (size_t a = 0; a < serial_reports.size(); ++a) {
+    const RobustnessReport& s = serial_reports[a];
+    const RobustnessReport& p = parallel_reports[a];
+    EXPECT_EQ(s.alpha_name, p.alpha_name);
+    EXPECT_EQ(s.num_valid, p.num_valid);
+    EXPECT_EQ(s.worst_sharpe_gross, p.worst_sharpe_gross);  // bitwise
+    EXPECT_EQ(s.worst_sharpe_net, p.worst_sharpe_net);
+    EXPECT_EQ(s.mean_sharpe_gross, p.mean_sharpe_gross);
+    EXPECT_EQ(s.mean_sharpe_net, p.mean_sharpe_net);
+    EXPECT_EQ(s.sharpe_dispersion, p.sharpe_dispersion);
+    ASSERT_EQ(s.scenarios.size(), p.scenarios.size());
+    for (size_t i = 0; i < s.scenarios.size(); ++i) {
+      EXPECT_EQ(s.scenarios[i].scenario_id, p.scenarios[i].scenario_id);
+      EXPECT_EQ(s.scenarios[i].valid, p.scenarios[i].valid);
+      EXPECT_EQ(s.scenarios[i].ic, p.scenarios[i].ic);
+      EXPECT_EQ(s.scenarios[i].sharpe_gross, p.scenarios[i].sharpe_gross);
+      EXPECT_EQ(s.scenarios[i].sharpe_net, p.scenarios[i].sharpe_net);
+      EXPECT_EQ(s.scenarios[i].mean_turnover, p.scenarios[i].mean_turnover);
+    }
+  }
+}
+
+TEST(RobustnessEvaluatorTest, AggregatesMatchScenarioScores) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 29);
+  suite.Truncate(2);
+  RobustnessConfig rc;
+  rc.num_threads = 2;
+  RobustnessEvaluator evaluator(suite, rc);
+  const RobustnessReport report =
+      evaluator.Evaluate(core::MakeExpertAlpha(market::kNumFeatures));
+  ASSERT_EQ(report.scenarios.size(), 2u);
+  ASSERT_EQ(report.num_valid, 2);
+  std::vector<double> gross;
+  for (const ScenarioScore& s : report.scenarios) {
+    EXPECT_TRUE(s.valid);
+    gross.push_back(s.sharpe_gross);
+    // Costs disabled: net must equal gross bitwise.
+    EXPECT_EQ(s.sharpe_net, s.sharpe_gross);
+  }
+  EXPECT_EQ(report.worst_sharpe_gross,
+            *std::min_element(gross.begin(), gross.end()));
+  EXPECT_EQ(report.mean_sharpe_gross, Mean(gross));
+  EXPECT_EQ(report.sharpe_dispersion, StdDev(gross));
+}
+
+}  // namespace
+}  // namespace alphaevolve::scenario

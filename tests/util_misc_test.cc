@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/check.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "util/threadpool.h"
 
@@ -109,6 +112,53 @@ TEST(TableTest, NumFormatsSixDecimals) {
 TEST(TableTest, RowArityEnforced) {
   TablePrinter t({"a", "b"});
   EXPECT_THROW(t.AddRow({"x"}), CheckError);
+}
+
+TEST(JsonWriterTest, NestedDocumentWithCommaPlacement) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("alpha_0");
+  w.Key("sharpe").Value(1.5);
+  w.Key("count").Value(static_cast<int64_t>(42));
+  w.Key("valid").Value(true);
+  w.Key("scenarios").BeginArray().Value("crash").Value("bull").EndArray();
+  w.Key("nested").BeginObject().Key("k").Value(2).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            "{\"name\":\"alpha_0\",\"sharpe\":1.5,\"count\":42,"
+            "\"valid\":true,\"scenarios\":[\"crash\",\"bull\"],"
+            "\"nested\":{\"k\":2}}");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndMapsNonFiniteToNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value("a\"b\\c\nd\te");
+  w.Value(std::nan(""));
+  w.Value(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[\"a\\\"b\\\\c\\nd\\te\",null,null]");
+}
+
+TEST(JsonWriterTest, UnbalancedDocumentThrows) {
+  JsonWriter w;
+  w.BeginObject();
+  EXPECT_THROW(w.TakeString(), CheckError);
+  JsonWriter w2;
+  EXPECT_THROW(w2.EndObject(), CheckError);
+  JsonWriter w3;
+  w3.BeginArray();
+  EXPECT_THROW(w3.Key("k"), CheckError);  // keys only inside objects
+  JsonWriter w4;
+  w4.BeginObject();
+  EXPECT_THROW(w4.Value(1.5), CheckError);  // object values need a Key
+  JsonWriter w5;
+  w5.Value(1);
+  EXPECT_THROW(w5.Value(2), CheckError);  // one root value only
+  JsonWriter w6;
+  w6.BeginObject();
+  w6.EndObject();
+  EXPECT_THROW(w6.BeginObject(), CheckError);  // no second root document
 }
 
 }  // namespace
