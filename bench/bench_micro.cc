@@ -8,17 +8,23 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <ctime>
 #include <map>
+#include <vector>
 
 #include "core/evaluator.h"
 #include "core/evaluator_pool.h"
 #include "core/evolution.h"
 #include "core/generators.h"
+#include "core/kernels.h"
 #include "core/mutator.h"
 #include "core/pruning.h"
 #include "ga/expr.h"
 #include "market/dataset.h"
 #include "scenario/robustness.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
 
 namespace {
 
@@ -143,6 +149,197 @@ BENCHMARK(BM_ExecutorSharded)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- Fused segment kernels vs reference interpreter (BENCH_4.json) --------
+// One candidate's full lockstep execution over the 1100-task universe:
+// interpreter (per-instruction switch sweeping all task state once per
+// instruction) vs fused micro-op kernels (whole segment over a
+// cache-resident block of tasks, branch-free dispatch, persistent arena
+// workers between segments). Results are bit-identical (fused_parity_test),
+// so `speedup_vs_interpreter` — fused cands/sec over the interpreter run at
+// the same thread count — is pure kernel/locality/barrier gain.
+// `cpu_ms_per_cand` (process CPU time) is the number to read on a 1-core
+// box, where wall speedups cannot show.
+
+std::map<int, double>& InterpreterCandsPerSec() {
+  static auto* baselines = new std::map<int, double>();
+  return *baselines;
+}
+
+void BM_FusedSegment(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const int threads = static_cast<int>(state.range(1));
+  const auto& ds = BenchDataset(1100);
+  core::ExecutorConfig cfg;
+  cfg.fuse_segments = fused;
+  if (const char* bs = std::getenv("AE_BENCH_BLOCK")) cfg.block_size = std::atoi(bs);
+  cfg.intra_candidate_threads = threads;
+  core::Executor exec(ds, cfg);
+  // A long element-wise segment — the shape evolution actually produces
+  // (up to 21 predict / 45 update instructions, mostly vector/scalar math)
+  // and the shape fusion targets: the interpreter sweeps all task state
+  // once per instruction, the fused path once per segment. A relation op
+  // keeps segment boundaries and the arena barrier in play.
+  core::AlphaProgram prog = core::MakeExpertAlpha(ds.window());
+  auto push = [&prog](core::Op op, int out, int in1, int in2) {
+    core::Instruction ins;
+    ins.op = op;
+    ins.out = static_cast<uint8_t>(out);
+    ins.in1 = static_cast<uint8_t>(in1);
+    ins.in2 = static_cast<uint8_t>(in2);
+    prog.predict.push_back(ins);
+  };
+  push(core::Op::kVectorSub, 3, 1, 2);
+  push(core::Op::kVectorMul, 4, 3, 1);
+  push(core::Op::kVectorAdd, 5, 4, 2);
+  push(core::Op::kVectorScale, 6, 5, 2);
+  push(core::Op::kVectorMax, 7, 6, 3);
+  push(core::Op::kVectorDiv, 8, 7, 1);
+  push(core::Op::kVectorAbs, 9, 8, 0);
+  push(core::Op::kMatrixAdd, 1, 0, 0);
+  push(core::Op::kMatrixMul, 2, 1, 0);
+  push(core::Op::kMatrixHeaviside, 3, 2, 0);
+  push(core::Op::kMatrixMeanAxis, 10, 3, 0);
+  push(core::Op::kVectorDot, 4, 9, 10);
+  push(core::Op::kScalarMul, 5, 4, 1);
+  push(core::Op::kScalarAdd, core::kPredictionScalar, 5,
+       core::kPredictionScalar);
+  core::Instruction rank;
+  rank.op = core::Op::kRank;
+  rank.out = core::kPredictionScalar;
+  rank.in1 = core::kPredictionScalar;
+  prog.predict.push_back(rank);
+
+  int64_t runs = 0;
+  double seconds = 0.0;
+  const std::clock_t cpu0 = std::clock();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(exec.Run(prog, 1));
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++runs;
+  }
+  const double cpu_seconds =
+      static_cast<double>(std::clock() - cpu0) / CLOCKS_PER_SEC;
+  state.SetItemsProcessed(runs * ds.num_tasks());
+  if (seconds > 0.0 && runs > 0) {
+    const double cands_per_sec = static_cast<double>(runs) / seconds;
+    state.counters["cands_per_sec"] = cands_per_sec;
+    state.counters["cpu_ms_per_cand"] =
+        1e3 * cpu_seconds / static_cast<double>(runs);
+    if (!fused) {
+      InterpreterCandsPerSec()[threads] = cands_per_sec;
+    } else if (InterpreterCandsPerSec().count(threads) > 0) {
+      state.counters["speedup_vs_interpreter"] =
+          cands_per_sec / InterpreterCandsPerSec()[threads];
+    }
+  }
+}
+BENCHMARK(BM_FusedSegment)
+    ->Args({0, 1})  // interpreter baselines register first
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Blocked matmul kernel (BENCH_4.json) ---------------------------------
+// The shared n×n kernel both executor paths call, against the naive ijk
+// triple loop it replaced (bit-identical accumulation order, so the
+// `gflops_proxy` gap is free). n = 13 is the paper's feature/window shape;
+// 32 shows the blocking effect once operands outgrow L1.
+
+void NaiveMatMul(const double* a, const double* b, double* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int q = 0; q < n; ++q) acc += a[i * n + q] * b[q * n + j];
+      out[i * n + j] = acc;
+    }
+  }
+}
+
+void BM_BlockedMatMul(benchmark::State& state) {
+  const bool blocked = state.range(0) != 0;
+  const int n = static_cast<int>(state.range(1));
+  Rng rng(11);
+  std::vector<double> a(static_cast<size_t>(n) * n);
+  std::vector<double> b(static_cast<size_t>(n) * n);
+  std::vector<double> out(static_cast<size_t>(n) * n);
+  for (double& x : a) x = rng.Gaussian();
+  for (double& x : b) x = rng.Gaussian();
+  for (auto _ : state) {
+    if (blocked) {
+      core::MatMulBlocked(a.data(), b.data(), out.data(), n);
+    } else {
+      NaiveMatMul(a.data(), b.data(), out.data(), n);
+    }
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  const double flops_per_iter = 2.0 * n * n * n;
+  state.counters["gflops_proxy"] = benchmark::Counter(
+      flops_per_iter * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BlockedMatMul)
+    ->Args({0, 13})
+    ->Args({1, 13})
+    ->Args({0, 32})
+    ->Args({1, 32})
+    ->Args({0, 64})
+    ->Args({1, 64});
+
+// --- Per-segment barrier cost: arena vs pool re-submission (BENCH_4.json) -
+// The synchronization a sharded executor pays per element-wise segment:
+// PR 2 re-submitted helper tasks through the pool queue every segment
+// (BM_PoolForBarrier); the persistent ShardArena parks its helpers on an
+// epoch barrier between segments (BM_ArenaBarrier). The empty body makes
+// each iteration ≈ one barrier; `barrier_ns_per_segment` is the headline.
+
+void BM_ArenaBarrier(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  ThreadPool pool(lanes - 1);
+  ShardArena arena(&pool, lanes - 1);
+  int64_t rounds = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    arena.ParallelFor(lanes, [](int) {});
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++rounds;
+  }
+  if (rounds > 0) {
+    state.counters["barrier_ns_per_segment"] =
+        1e9 * seconds / static_cast<double>(rounds);
+  }
+}
+BENCHMARK(BM_ArenaBarrier)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_PoolForBarrier(benchmark::State& state) {
+  const int lanes = static_cast<int>(state.range(0));
+  ThreadPool pool(lanes - 1);
+  int64_t rounds = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pool.ParallelFor(lanes, [](int) {});
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++rounds;
+  }
+  if (rounds > 0) {
+    state.counters["barrier_ns_per_segment"] =
+        1e9 * seconds / static_cast<double>(rounds);
+  }
+}
+BENCHMARK(BM_PoolForBarrier)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_PruneAndFingerprint(benchmark::State& state) {
   // The paper's evaluation-free fingerprint: microseconds per candidate.

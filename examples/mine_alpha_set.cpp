@@ -6,14 +6,16 @@
 // higher validation Sharpe ratio.
 //
 // Run: ./build/mine_alpha_set [rounds] [seconds_per_search] [num_threads]
-//                             [intra_candidate_threads] [json_out]
+//                             [intra_candidate_threads] [json_out] [fuse]
 //
 // num_threads evaluates candidates concurrently (inter-candidate);
 // intra_candidate_threads task-shards each candidate's lockstep execution
 // (intra-candidate). Both levels share one thread pool. json_out emits the
 // accepted alpha set (program text + metrics) and every round's per-search
 // SearchStats as a diffable JSON artifact — the mining-side counterpart of
-// stress_alpha_set's robustness report.
+// stress_alpha_set's robustness report. fuse=0 runs the reference
+// interpreter instead of the fused micro-op kernels (bit-identical output,
+// useful for A/B timing the kernel win on your universe).
 
 #include <algorithm>
 #include <cmath>
@@ -38,6 +40,7 @@ int main(int argc, char** argv) {
   const int num_threads = std::max(1, argc > 3 ? std::atoi(argv[3]) : 1);
   const int intra_threads = std::max(1, argc > 4 ? std::atoi(argv[4]) : 1);
   const char* json_out = argc > 5 ? argv[5] : nullptr;
+  const bool fuse = argc > 6 ? std::atoi(argv[6]) != 0 : true;
 
   market::MarketConfig mc = market::MarketConfig::BenchScale();
   mc.num_stocks = 80;
@@ -46,6 +49,7 @@ int main(int argc, char** argv) {
   market::Dataset dataset = market::Dataset::Simulate(mc, {});
   core::EvaluatorConfig eval_config;
   eval_config.executor.intra_candidate_threads = intra_threads;
+  eval_config.executor.fuse_segments = fuse;
   core::EvaluatorPool pool(dataset, eval_config, num_threads);
 
   core::EvolutionConfig config;
@@ -56,9 +60,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "mining %d rounds, %.1fs each, cutoff %.0f%%, %d thread(s), "
-      "%d task shard(s) per candidate\n\n",
+      "%d task shard(s) per candidate, %s kernels\n\n",
       rounds, seconds, config.correlation_cutoff * 100, num_threads,
-      intra_threads);
+      intra_threads, fuse ? "fused" : "interpreter");
   // Every round's per-search attribution, for the JSON artifact.
   std::vector<std::vector<core::SearchStats>> round_stats;
 

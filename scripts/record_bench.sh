@@ -5,13 +5,20 @@
 #                  1/2/4/8 intra-candidate threads, >=1000-task universe)
 #   BENCH_3.json — scenario-suite robustness fan-out (BM_RobustnessSuite at
 #                  1/2/4/8 threads: scenarios/sec, speedup vs serial sweep)
+#   BENCH_4.json — executor kernel speedups: BM_FusedSegment (fused vs
+#                  interpreter cands/sec + per-cand CPU-ms at 1/4/8
+#                  threads), BM_BlockedMatMul (GFLOP proxy, blocked vs
+#                  naive), BM_ArenaBarrier/BM_PoolForBarrier (per-segment
+#                  barrier cost, persistent arena vs pool re-submission)
 #
 # Usage: scripts/record_bench.sh [build_dir] [sharded_out] [robustness_out]
+#                                [kernels_out]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 SHARDED_OUT="${2:-BENCH_2.json}"
 ROBUSTNESS_OUT="${3:-BENCH_3.json}"
+KERNELS_OUT="${4:-BENCH_4.json}"
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
   echo "error: $BUILD_DIR/bench_micro not built (google-benchmark missing?)" >&2
@@ -33,3 +40,11 @@ echo "wrote $SHARDED_OUT"
   --benchmark_repetitions=1
 
 echo "wrote $ROBUSTNESS_OUT"
+
+"$BUILD_DIR/bench_micro" \
+  --benchmark_filter='BM_FusedSegment|BM_BlockedMatMul|BM_ArenaBarrier|BM_PoolForBarrier' \
+  --benchmark_out="$KERNELS_OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=1
+
+echo "wrote $KERNELS_OUT"

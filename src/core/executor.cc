@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "core/kernels.h"
 #include "core/opcode.h"
 #include "util/check.h"
 
@@ -14,7 +16,36 @@ namespace {
 /// heaviside(x, 1) with this convention).
 inline double Step(double x) { return x > 0.0 ? 1.0 : 0.0; }
 
+/// Auto block size for the fused path: a segment streams up to ~3 matrix
+/// operands per op through each task, so size the block to keep those
+/// resident in roughly half of a 32 KiB L1 while it runs the whole segment
+/// (measured best on the paper's n = 13 shape; see BM_FusedSegment).
+int AutoBlockSize(int n) {
+  const int per_task_bytes = 3 * n * n * static_cast<int>(sizeof(double));
+  const int block = 16 * 1024 / std::max(1, per_task_bytes);
+  return std::clamp(block, 4, 256);
+}
+
 }  // namespace
+
+/// Parks a persistent worker arena on the pool for the duration of one Run:
+/// per-segment fan-out becomes an epoch bump on the arena barrier instead
+/// of re-submitting pool tasks. Helpers are capped at the configured shard
+/// fan-out; the driving thread is always the +1 lane.
+struct RunArenaScope {
+  explicit RunArenaScope(Executor& e) : executor(e) {
+    if (e.num_shards_ > 1 && e.pool_ != nullptr) {
+      const int helpers =
+          std::min(e.config_.intra_candidate_threads, e.num_shards_) - 1;
+      arena.emplace(e.pool_, helpers);
+      e.arena_ = &*arena;
+    }
+  }
+  ~RunArenaScope() { executor.arena_ = nullptr; }
+
+  Executor& executor;
+  std::optional<ShardArena> arena;
+};
 
 Executor::Executor(const market::Dataset& dataset, ExecutorConfig config,
                    ThreadPool* shared_pool)
@@ -78,6 +109,10 @@ Executor::Executor(const market::Dataset& dataset, ExecutorConfig config,
   // One n*n temp per shard: a shard works through its tasks sequentially,
   // so tasks can share a slice while shards never do.
   mat_scratch_.resize(static_cast<size_t>(num_shards_) * n_ * n_);
+
+  fuse_ = config_.fuse_segments;
+  block_size_ = config_.block_size > 0 ? config_.block_size
+                                       : AutoBlockSize(n_);
 }
 
 void Executor::ZeroMemory() {
@@ -94,11 +129,22 @@ void Executor::ParallelForTasks(const std::function<void(int, int)>& fn) {
     fn(0, num_tasks_);
     return;
   }
-  pool_->ParallelFor(num_shards_, [&](int s) {
+  ParallelForItems(num_shards_, [&](int s) {
     const int t0 = s * shard_size_;
     const int t1 = std::min(num_tasks_, t0 + shard_size_);
     fn(t0, t1);
   });
+}
+
+void Executor::ParallelForItems(int n, const std::function<void(int)>& fn) {
+  // Inside a Run the arena's parked helpers take the round (one epoch bump);
+  // outside one — or if the arena could not be set up — fall back to the
+  // pool's queue-based ParallelFor. Identical results either way.
+  if (arena_ != nullptr) {
+    arena_->ParallelFor(n, fn);
+  } else {
+    pool_->ParallelFor(n, fn);
+  }
 }
 
 void Executor::RefreshInputs(int date) {
@@ -209,7 +255,7 @@ void Executor::ExecRelation(const Instruction& ins) {
       // universes stay serial: per-group work is tiny next to a barrier.
       if (num_shards_ > 1 && pool_ != nullptr && groups > 1 &&
           num_tasks_ >= config_.group_parallel_min_tasks) {
-        pool_->ParallelFor(groups, run_group);
+        ParallelForItems(groups, run_group);
       } else {
         for (int gi = 0; gi < groups; ++gi) run_group(gi);
       }
@@ -581,41 +627,27 @@ void Executor::ExecInstructionRange(const Instruction& ins, int t0, int t1,
         for (int i = 0; i < nn; ++i) o[i] = Step(a[i]);
       }
       return;
+    // The three dense kernels are shared with the fused path (and its
+    // non-aliasing direct variants); the scratch round-trip moves identical
+    // bits, so the two paths still match bit-for-bit.
     case Op::kMatrixMatMul:
       for (int k = t0; k < t1; ++k) {
-        const double* a = Mat(k, ins.in1);
-        const double* b = Mat(k, ins.in2);
         double* scratch = Scratch(t0);
-        for (int i = 0; i < n; ++i) {
-          for (int j = 0; j < n; ++j) {
-            double acc = 0.0;
-            for (int q = 0; q < n; ++q) acc += a[i * n + q] * b[q * n + j];
-            scratch[i * n + j] = acc;
-          }
-        }
+        MatMulBlocked(Mat(k, ins.in1), Mat(k, ins.in2), scratch, n);
         std::copy(scratch, scratch + nn, Mat(k, ins.out));
       }
       return;
     case Op::kMatrixVectorProduct:
       for (int k = t0; k < t1; ++k) {
-        const double* a = Mat(k, ins.in1);
-        const double* b = Vec(k, ins.in2);
         double* scratch = Scratch(t0);  // first n entries
-        for (int i = 0; i < n; ++i) {
-          double acc = 0.0;
-          for (int j = 0; j < n; ++j) acc += a[i * n + j] * b[j];
-          scratch[i] = acc;
-        }
+        MatVecInOrder(Mat(k, ins.in1), Vec(k, ins.in2), scratch, n);
         std::copy(scratch, scratch + n, Vec(k, ins.out));
       }
       return;
     case Op::kMatrixTranspose:
       for (int k = t0; k < t1; ++k) {
-        const double* a = Mat(k, ins.in1);
         double* scratch = Scratch(t0);
-        for (int i = 0; i < n; ++i) {
-          for (int j = 0; j < n; ++j) scratch[j * n + i] = a[i * n + j];
-        }
+        TransposeInto(Mat(k, ins.in1), scratch, n);
         std::copy(scratch, scratch + nn, Mat(k, ins.out));
       }
       return;
@@ -803,6 +835,39 @@ void Executor::ExecShardedSegment(const std::vector<Instruction>& instrs,
   });
 }
 
+void Executor::ExecFusedSegment(FusedSegment& segment) {
+  // Draw ids are stamped serially on the driving thread, one per random-op
+  // *execution*, exactly like the interpreter path — so (seed, draw id) is
+  // identical whether this segment then runs fused, sharded, or serial.
+  for (const int idx : segment.random_ops) {
+    segment.ops[static_cast<size_t>(idx)].draw_id = draw_counter_++;
+  }
+  ParallelForTasks([&](int t0, int t1) {
+    MicroCtx ctx;
+    ctx.scalars = scalars_.data();
+    ctx.vectors = vectors_.data();
+    ctx.matrices = matrices_.data();
+    ctx.history = history_.data();
+    ctx.scratch = Scratch(t0);
+    ctx.scalar_stride = static_cast<size_t>(num_scalars_);
+    ctx.vec_stride = static_cast<size_t>(num_vectors_) * n_;
+    ctx.mat_stride = static_cast<size_t>(num_matrices_) * n_ * n_;
+    ctx.hist_stride = static_cast<size_t>(kHistoryCap) * num_scalars_;
+    ctx.num_scalars = num_scalars_;
+    ctx.hist_cap = kHistoryCap;
+    ctx.hist_size = hist_size_;
+    ctx.hist_head = hist_head_;
+    ctx.n = n_;
+    ctx.run_seed = run_seed_;
+    // Block-at-a-time: a cache-resident block of tasks runs the whole
+    // segment before the next block is touched.
+    for (int b0 = t0; b0 < t1; b0 += block_size_) {
+      const int b1 = std::min(t1, b0 + block_size_);
+      for (const MicroOp& op : segment.ops) op.fn(ctx, op, b0, b1);
+    }
+  });
+}
+
 void Executor::ExecComponent(const std::vector<Instruction>& instrs) {
   // Split into maximal runs of element-wise instructions (sharded with one
   // barrier per run) separated by RelationOps (cross-task, group-parallel).
@@ -823,13 +888,38 @@ void Executor::ExecComponent(const std::vector<Instruction>& instrs) {
   }
 }
 
+void Executor::ExecCompiled(CompiledComponent& compiled) {
+  for (const CompiledComponent::Piece& piece : compiled.pieces) {
+    if (piece.is_relation) {
+      ExecRelation(compiled.relations[static_cast<size_t>(piece.index)]);
+    } else {
+      ExecFusedSegment(compiled.segments[static_cast<size_t>(piece.index)]);
+    }
+  }
+}
+
 ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
                               bool include_test, int limit_train,
                               int limit_valid) {
   run_seed_ = seed;
   draw_counter_ = 0;
   ZeroMemory();
-  ExecComponent(program.setup);
+
+  // Persistent shard workers for this Run (no-op when serial), and — on the
+  // fused path — the once-per-Run lowering that the date loop amortizes.
+  RunArenaScope arena_scope(*this);
+  if (fuse_) {
+    CompileComponent(program.setup, n_, kHistoryCap, &compiled_[0]);
+    CompileComponent(program.predict, n_, kHistoryCap, &compiled_[1]);
+    CompileComponent(program.update, n_, kHistoryCap, &compiled_[2]);
+  }
+  const auto run_predict = [&] {
+    if (fuse_) ExecCompiled(compiled_[1]);
+    else ExecComponent(program.predict);
+  };
+
+  if (fuse_) ExecCompiled(compiled_[0]);
+  else ExecComponent(program.setup);
 
   ExecutionResult result;
   const auto& train_dates = dataset_.dates(market::Split::kTrain);
@@ -841,7 +931,7 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
     for (int di = 0; di < num_train; ++di) {
       const int date = train_dates[static_cast<size_t>(di)];
       RefreshInputs(date);
-      ExecComponent(program.predict);
+      run_predict();
       if (!PredictionsFinite()) {
         result.valid = false;
         return result;
@@ -849,7 +939,8 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
       for (int k = 0; k < num_tasks_; ++k) {
         Scalars(k)[kLabelScalar] = dataset_.Label(k, date);
       }
-      ExecComponent(program.update);
+      if (fuse_) ExecCompiled(compiled_[2]);
+      else ExecComponent(program.update);
       RecordHistory();
     }
   }
@@ -864,7 +955,7 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
     for (int di = 0; di < num; ++di) {
       const int date = dates[static_cast<size_t>(di)];
       RefreshInputs(date);
-      ExecComponent(program.predict);
+      run_predict();
       if (!PredictionsFinite()) return false;
       std::vector<double> row(static_cast<size_t>(num_tasks_));
       for (int k = 0; k < num_tasks_; ++k) {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/fused.h"
 #include "core/program.h"
 #include "market/dataset.h"
 #include "util/rng.h"
@@ -38,6 +39,24 @@ struct ExecutorConfig {
   /// less than a barrier. Bit-identical either way; lower it (e.g. to 1 in
   /// tests) to force the concurrent group path on small datasets.
   int group_parallel_min_tasks = 1024;
+
+  /// Compile each element-wise segment once per Run into a fused micro-op
+  /// kernel (pre-resolved operand offsets, branch-free function-pointer
+  /// dispatch) executed block-at-a-time, so a cache-resident block of tasks
+  /// runs the *whole segment* before the next block is touched — one pass
+  /// of task state through L1/L2 per segment instead of one per
+  /// instruction. Bit-identical to the interpreter path (element-wise ops
+  /// have no cross-task reductions, so neither fusion nor blocking can
+  /// reorder any per-task FP sequence); disable to run the reference
+  /// interpreter, e.g. when bisecting a suspected kernel bug or adding a
+  /// new op whose fused lowering does not exist yet.
+  bool fuse_segments = true;
+
+  /// Tasks per cache block in the fused path (0 = auto: sized so a block's
+  /// matrix operands fit in ~16 KiB, half of a typical 32 KiB L1). Any
+  /// value is bit-identical; the knob only moves the locality /
+  /// loop-overhead trade-off.
+  int block_size = 0;
 };
 
 /// Output of one full run: predictions per evaluation date per task.
@@ -65,12 +84,23 @@ struct ExecutionResult {
 /// external pool) the lockstep loop is *task-sharded*. Components are split
 /// into segments of element-wise instructions (which touch only their own
 /// task's memory) separated by RelationOps; each segment runs over task
-/// ranges on the pool with one barrier per segment, while RelationOps keep
-/// their cross-task semantics by parallelizing over sector/industry groups
+/// ranges with one barrier per segment, while RelationOps keep their
+/// cross-task semantics by parallelizing over sector/industry groups
 /// (gather → per-group rank/demean → scatter). Random-init ops draw from a
 /// counter-based stream (`CounterRng`) keyed by (run seed, serial draw id,
 /// task, element), so results are deterministic in the seed and invariant
 /// to both the thread count and the shard size.
+///
+/// Kernel path: with `fuse_segments` (the default) each component is
+/// lowered once per Run into fused micro-op segments (core/fused.h) that a
+/// shard executes block-at-a-time; with it off, the original switch
+/// interpreter runs instruction-at-a-time as the bit-identical reference.
+/// Both paths share the blocked matmul kernels (core/kernels.h).
+///
+/// Shard workers: a parallel Run parks a `ShardArena` of persistent helpers
+/// on the pool for its whole duration — per-segment fan-out is then one
+/// epoch bump on the arena's barrier instead of re-submitting pool tasks,
+/// which PR 2 measured as the limiting overhead on small universes.
 ///
 /// Not thread-safe across Run calls: one Executor per driving thread
 /// (scratch state is reused across Run calls to avoid per-candidate
@@ -120,9 +150,13 @@ class Executor {
   }
 
   void ZeroMemory();
-  /// Runs fn(task_begin, task_end) over all tasks, sharded across the pool
-  /// when parallel (one barrier); inline on the caller when serial.
+  /// Runs fn(task_begin, task_end) over all tasks, sharded across the
+  /// arena/pool when parallel (one barrier); inline on the caller when
+  /// serial.
   void ParallelForTasks(const std::function<void(int, int)>& fn);
+  /// Fans fn(i) for i in [0, n) out to the shard workers (arena when a Run
+  /// is active, pool otherwise).
+  void ParallelForItems(int n, const std::function<void(int)>& fn);
   void RefreshInputs(int date);
   void RecordHistory();
   /// Executes one element-wise instruction for tasks [t0, t1). `draw_id` is
@@ -135,10 +169,16 @@ class Executor {
   void RankGroup(const std::vector<int>& members, int* order_scratch);
   void DemeanGroup(const std::vector<int>& members);
   /// Executes instrs[begin, end) — all element-wise — for every task, with
-  /// one shard barrier for the whole segment.
+  /// one shard barrier for the whole segment (interpreter path).
   void ExecShardedSegment(const std::vector<Instruction>& instrs,
                           size_t begin, size_t end);
+  /// Executes one compiled segment: stamps draw ids, then every shard walks
+  /// its tasks block-at-a-time through the whole micro-op list (fused path).
+  void ExecFusedSegment(FusedSegment& segment);
+  /// Interpreter walk of a raw component (reference path).
   void ExecComponent(const std::vector<Instruction>& instrs);
+  /// Fused walk of a compiled component (hot path).
+  void ExecCompiled(CompiledComponent& compiled);
   /// True iff every task's s1 is finite.
   bool PredictionsFinite();
 
@@ -153,6 +193,16 @@ class Executor {
   std::unique_ptr<ThreadPool> owned_pool_;
   int shard_size_ = 0;
   int num_shards_ = 1;
+
+  // Fused-kernel path. The compiled components are rebuilt at each Run from
+  // the program (capacity reused); block_size_ tasks stay cache-hot across
+  // one whole segment. arena_ points at the Run-scoped worker arena while a
+  // parallel Run is in flight (see RunArenaScope in executor.cc).
+  bool fuse_ = true;
+  int block_size_ = 1;
+  CompiledComponent compiled_[kNumComponents];
+  ShardArena* arena_ = nullptr;
+  friend struct RunArenaScope;
 
   // Counter-based random-op state: draw ids are assigned serially on the
   // driving thread (one per random-op execution), so the (seed, draw id,

@@ -1,0 +1,101 @@
+#ifndef ALPHAEVOLVE_CORE_FUSED_H_
+#define ALPHAEVOLVE_CORE_FUSED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/instruction.h"
+#include "core/program.h"
+
+namespace alphaevolve::core {
+
+/// Everything a micro-op kernel needs to address one task's state: base
+/// pointers into the executor's task-major arrays plus per-task strides (in
+/// doubles). Built per shard per segment execution — `scratch` is the
+/// shard's private n×n temporary and the history fields advance every date.
+struct MicroCtx {
+  double* scalars = nullptr;
+  double* vectors = nullptr;
+  double* matrices = nullptr;
+  const double* history = nullptr;
+  double* scratch = nullptr;
+  size_t scalar_stride = 0;  ///< num_scalars
+  size_t vec_stride = 0;     ///< num_vectors * n
+  size_t mat_stride = 0;     ///< num_matrices * n * n
+  size_t hist_stride = 0;    ///< hist_cap * num_scalars
+  int num_scalars = 0;
+  int hist_cap = 0;
+  int hist_size = 0;
+  int hist_head = 0;
+  int n = 0;
+  uint64_t run_seed = 0;
+};
+
+struct MicroOp;
+
+/// A micro-op kernel executes its op for every task in [t0, t1) — one
+/// indirect call per (op, block), no per-task dispatch of any kind.
+using MicroKernelFn = void (*)(const MicroCtx&, const MicroOp&, int t0,
+                               int t1);
+
+/// One lowered element-wise instruction. Operand slots are pre-resolved to
+/// element offsets within a task's region of the owning array (which array
+/// each slot indexes is baked into the kernel: e.g. v_scale reads `in1`
+/// from the vector array and `in2` from the scalar array, exactly like its
+/// interpreter case). Immediates are copied and indices pre-clamped
+/// (extraction `% n`, ts-rank window), so the kernels branch only on data.
+/// `draw_id` is stamped serially by the driving thread before each
+/// execution of the enclosing segment (random ops only), keeping the
+/// (seed, draw id, task, element) CounterRng key schedule-independent.
+struct MicroOp {
+  MicroKernelFn fn = nullptr;
+  int32_t out = 0;
+  int32_t in1 = 0;
+  int32_t in2 = 0;
+  int32_t idx0 = 0;
+  int32_t idx1 = 0;
+  double imm0 = 0.0;
+  double imm1 = 0.0;
+  uint64_t draw_id = 0;
+};
+
+/// A maximal run of element-wise instructions, compiled for block-at-a-time
+/// execution: the executor walks a cache-resident block of tasks through
+/// *all* ops of the segment before advancing to the next block.
+struct FusedSegment {
+  std::vector<MicroOp> ops;
+  /// Indices into `ops` needing a fresh serial draw id per execution.
+  std::vector<int> random_ops;
+};
+
+/// A compiled component: fused segments and the relation instructions that
+/// separate them, in program order.
+struct CompiledComponent {
+  struct Piece {
+    bool is_relation;
+    int index;  ///< into `segments` or `relations`
+  };
+  std::vector<Piece> pieces;
+  std::vector<FusedSegment> segments;
+  std::vector<Instruction> relations;
+
+  void Clear() {
+    pieces.clear();
+    segments.clear();
+    relations.clear();
+  }
+};
+
+/// Lowers `instrs` into `out` (cleared first; capacity reused across Runs)
+/// for window dimension `n` and a ts-rank history capacity of `hist_cap`.
+/// Segmentation follows GetMicroOpInfo: every fusable op joins the current
+/// segment, relation ops close it, kNoOp lowers to nothing. Aliasing
+/// matmul/matvec/transpose lower to scratch-writing kernel variants; the
+/// non-aliasing ones write their destination directly.
+void CompileComponent(const std::vector<Instruction>& instrs, int n,
+                      int hist_cap, CompiledComponent* out);
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_FUSED_H_

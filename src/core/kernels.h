@@ -1,0 +1,61 @@
+#ifndef ALPHAEVOLVE_CORE_KERNELS_H_
+#define ALPHAEVOLVE_CORE_KERNELS_H_
+
+#include <algorithm>
+
+namespace alphaevolve::core {
+
+/// Output rows per matmul tile: one streamed b-row feeds this many
+/// accumulator rows, so b makes n/kMatMulRowTile passes through cache
+/// instead of n.
+inline constexpr int kMatMulRowTile = 4;
+
+/// out = a × b (n×n, row-major), row-tiled and autovectorization-friendly.
+///
+/// Bit-identical to the naive ijk triple loop: every output element (i, j)
+/// starts at 0.0 and accumulates a[i,q] * b[q,j] for q = 0..n-1 in that
+/// exact order — the tiling only reorders *which element* is advanced next,
+/// never the accumulation sequence within an element. The inner j loop is a
+/// unit-stride axpy over a row of b, which compilers vectorize without any
+/// FP relaxation. `out` must not alias `a` or `b` (callers pass scratch or
+/// a distinct destination).
+inline void MatMulBlocked(const double* a, const double* b, double* out,
+                          int n) {
+  for (int i0 = 0; i0 < n; i0 += kMatMulRowTile) {
+    const int i1 = std::min(n, i0 + kMatMulRowTile);
+    for (int i = i0; i < i1; ++i) std::fill_n(out + i * n, n, 0.0);
+    for (int q = 0; q < n; ++q) {
+      const double* bq = b + q * n;
+      for (int i = i0; i < i1; ++i) {
+        const double aiq = a[i * n + q];
+        double* o = out + i * n;
+        for (int j = 0; j < n; ++j) o[j] += aiq * bq[j];
+      }
+    }
+  }
+}
+
+/// out = a · x (n×n times n), in-order per-row accumulation (bit-identical
+/// to the naive loop; the row dot stays sequential because vectorizing an
+/// FP reduction would reorder the sum). `out` must not alias `x`.
+inline void MatVecInOrder(const double* a, const double* x, double* out,
+                          int n) {
+  for (int i = 0; i < n; ++i) {
+    const double* row = a + i * n;
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += row[j] * x[j];
+    out[i] = acc;
+  }
+}
+
+/// out = aᵀ (n×n, row-major). Pure data movement — bitwise exact by
+/// construction. `out` must not alias `a`.
+inline void TransposeInto(const double* a, double* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) out[j * n + i] = a[i * n + j];
+  }
+}
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_KERNELS_H_

@@ -98,12 +98,37 @@ constexpr OpInfo kOpTable[kNumOps] = {
     {"relation_demean", kScalar, kScalar, kNone, kImG, true, false, false},
 };
 
+/// Micro-op lowering table, derived row-for-row from kOpTable.
+constexpr MicroOpInfo MakeMicroOpInfo(Op op, const OpInfo& info) {
+  MicroOpInfo m{};
+  m.fusable = !info.is_relation && op != Op::kNoOp;
+  m.takes_draw_id = info.is_random;
+  return m;
+}
+
+constexpr std::array<MicroOpInfo, kNumOps> BuildMicroTable() {
+  std::array<MicroOpInfo, kNumOps> table{};
+  for (int i = 0; i < kNumOps; ++i) {
+    table[static_cast<size_t>(i)] =
+        MakeMicroOpInfo(static_cast<Op>(i), kOpTable[i]);
+  }
+  return table;
+}
+
+constexpr std::array<MicroOpInfo, kNumOps> kMicroTable = BuildMicroTable();
+
 }  // namespace
 
 const OpInfo& GetOpInfo(Op op) {
   const int i = static_cast<int>(op);
   AE_CHECK(i >= 0 && i < kNumOps);
   return kOpTable[i];
+}
+
+const MicroOpInfo& GetMicroOpInfo(Op op) {
+  const int i = static_cast<int>(op);
+  AE_CHECK(i >= 0 && i < kNumOps);
+  return kMicroTable[static_cast<size_t>(i)];
 }
 
 const char* ComponentName(ComponentId c) {

@@ -120,6 +120,25 @@ struct OpInfo {
 /// Returns the signature of `op` (O(1) table lookup).
 const OpInfo& GetOpInfo(Op op);
 
+/// Fused-path lowering metadata (one row per op, parallel to the OpInfo
+/// table): how `CompileComponent` (core/fused.h) segments a component and
+/// materializes each op into a micro-op. Per-kernel facts (scratch use,
+/// history use, CounterRng index shape) live in the kernels themselves —
+/// this table only carries what the lowerer consults, so it cannot drift
+/// from the kernel implementations.
+struct MicroOpInfo {
+  /// Lowers into a fused segment. True for every element-wise op (touches
+  /// only its own task's memory); false for kNoOp (lowers to nothing) and
+  /// relation ops (cross-task — they terminate a segment instead).
+  bool fusable;
+  /// Needs a fresh serial draw id stamped before every segment execution
+  /// (the random-init ops).
+  bool takes_draw_id;
+};
+
+/// Returns the lowering row of `op` (O(1) table lookup).
+const MicroOpInfo& GetMicroOpInfo(Op op);
+
 /// Program components (paper §2): Setup / Predict / Update.
 enum class ComponentId : uint8_t { kSetup = 0, kPredict = 1, kUpdate = 2 };
 

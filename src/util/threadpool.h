@@ -1,9 +1,12 @@
 #ifndef ALPHAEVOLVE_UTIL_THREADPOOL_H_
 #define ALPHAEVOLVE_UTIL_THREADPOOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -34,8 +37,19 @@ class ThreadPool {
   /// Enqueues a task for execution. Safe to call from inside a task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished. Must be called from
-  /// outside the pool (a worker calling WaitAll would wait on itself).
+  /// Enqueues a *long-lived* task (e.g. a ShardArena helper loop that parks
+  /// until its arena shuts down). Only the dedicated workers pick these up;
+  /// the queue-drain inside a waiting ParallelFor caller skips them, so a
+  /// thread that is merely helping out can never be captured for the
+  /// lifetime of a foreign construct.
+  void SubmitLongLived(std::function<void()> task);
+
+  /// Blocks until every task submitted via Submit has finished. Long-lived
+  /// tasks (SubmitLongLived) are deliberately excluded: an arena helper
+  /// parks until its arena shuts down, and WaitAll's contract stays "the
+  /// queued work is drained", not "every arena on this pool is destroyed".
+  /// Must be called from outside the pool (a worker calling WaitAll would
+  /// wait on itself).
   void WaitAll();
 
   /// Number of worker threads.
@@ -48,16 +62,68 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  /// Pops and runs one queued task; returns false if the queue was empty.
+  /// Pops and runs one queued short-lived task; returns false if none was
+  /// available (long-lived tasks are left for the dedicated workers).
   bool TryRunOneTask();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::function<void()>> queue_;             ///< short-lived tasks
+  std::deque<std::function<void()>> long_lived_queue_;  ///< see SubmitLongLived
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;
-  int in_flight_ = 0;
+  int in_flight_ = 0;  ///< Submit tasks not yet finished (WaitAll's gate)
   bool shutdown_ = false;
+};
+
+/// Persistent worker arena for a run of many small parallel rounds (the
+/// executor's per-segment fan-out). `ThreadPool::ParallelFor` pays queue
+/// traffic — submit N closures, wake workers, tear the round down — on every
+/// call; an arena instead parks `max_helpers` long-lived helper loops on a
+/// lightweight epoch barrier once, and each `ParallelFor` round is then just
+/// an epoch bump: helpers spin briefly (catching back-to-back rounds without
+/// a syscall), fall back to a condvar, and pull indices from a shared atomic
+/// counter.
+///
+/// Helpers are *optional*: they are plain pool tasks and may start late (or
+/// never, if the pool is saturated). The driving thread always participates
+/// and completes a round alone if it must, so arenas sharing a pool with
+/// other work — or with other arenas — cannot deadlock; a missing helper
+/// only costs parallelism. A claimed round index carries the round's epoch
+/// tag, so a helper that oversleeps a round can never execute stale work.
+///
+/// Single-driver: only the constructing thread may call ParallelFor, and
+/// rounds never overlap. Destroying the arena releases the helpers back to
+/// their pool (without blocking on them).
+class ShardArena {
+ public:
+  /// Parks up to `max_helpers` helper loops from `pool` (capped at
+  /// pool->num_threads()). `pool == nullptr` or `max_helpers <= 0` is valid:
+  /// every round then runs inline on the caller.
+  ShardArena(ThreadPool* pool, int max_helpers);
+
+  /// Signals the helpers to leave; does not wait for them (they hold the
+  /// shared round state alive until they exit).
+  ~ShardArena();
+
+  ShardArena(const ShardArena&) = delete;
+  ShardArena& operator=(const ShardArena&) = delete;
+
+  /// Runs fn(i) for i in [0, n) across the caller + any parked helpers and
+  /// returns once all n calls completed. Must be called from the
+  /// constructing thread only.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  /// Helper loops submitted at construction (an upper bound on concurrency;
+  /// the caller always participates as one extra lane).
+  int num_helpers() const { return num_helpers_; }
+
+ private:
+  struct State;
+  static void HelperLoop(const std::shared_ptr<State>& state);
+
+  std::shared_ptr<State> state_;
+  int num_helpers_ = 0;
 };
 
 }  // namespace alphaevolve

@@ -1,0 +1,316 @@
+// Bit-parity of the fused micro-op kernel path against the reference
+// interpreter. The fused path changes *scheduling only* — lowering, block
+// execution, persistent arena workers — never any per-task FP sequence, so
+// every configuration below must reproduce the interpreter's output
+// bit-for-bit: across a program fuzz (whatever the mutator emits), across
+// {1, 4, 8} threads x {1, 16, 257} shard sizes, across block sizes, with
+// CounterRng random-init ops and with relation ops splitting segments.
+// The blocked matmul kernels get the same treatment against naive loops.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/generators.h"
+#include "core/kernels.h"
+#include "core/mutator.h"
+#include "market/simulator.h"
+#include "util/rng.h"
+
+namespace alphaevolve::core {
+namespace {
+
+Instruction I(Op op, int out, int in1 = 0, int in2 = 0) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.in1 = static_cast<uint8_t>(in1);
+  ins.in2 = static_cast<uint8_t>(in2);
+  return ins;
+}
+
+Instruction RandomInit(Op op, int out, double imm0, double imm1) {
+  Instruction ins;
+  ins.op = op;
+  ins.out = static_cast<uint8_t>(out);
+  ins.imm0 = imm0;
+  ins.imm1 = imm1;
+  return ins;
+}
+
+/// Exercises every lowering family: random init, matmul/matvec/transpose
+/// (aliasing and not), extraction, ts-rank, and all three relation ops
+/// splitting the predict component into multiple fused segments.
+AlphaProgram MakeStressAlpha(int window) {
+  AlphaProgram prog = MakeExpertAlpha(window);
+  prog.setup.push_back(RandomInit(Op::kMatrixGaussian, 2, 0.0, 0.1));
+  prog.setup.push_back(RandomInit(Op::kVectorUniform, 2, -0.5, 0.5));
+  prog.predict.push_back(I(Op::kMatrixMatMul, 2, 2, 1));   // direct
+  prog.predict.push_back(I(Op::kMatrixMatMul, 2, 2, 2));   // aliasing
+  prog.predict.push_back(I(Op::kMatrixTranspose, 3, 2));   // direct
+  prog.predict.push_back(I(Op::kMatrixTranspose, 3, 3));   // aliasing
+  prog.predict.push_back(I(Op::kMatrixVectorProduct, 3, 2, 2));
+  prog.predict.push_back(I(Op::kVectorMean, 6, 3));
+  Instruction rank = I(Op::kRank, 6, 6);
+  prog.predict.push_back(rank);
+  Instruction rrank = I(Op::kRelationRank, 7, 6);
+  rrank.idx0 = 1;  // industry
+  prog.predict.push_back(rrank);
+  Instruction demean = I(Op::kRelationDemean, 5, 7);
+  demean.idx0 = 0;  // sector
+  prog.predict.push_back(demean);
+  Instruction ts = I(Op::kTsRank, 4, 5);
+  ts.idx0 = 6;
+  prog.predict.push_back(ts);
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 4, 5));
+  return prog;
+}
+
+void ExpectBitIdentical(const ExecutionResult& a, const ExecutionResult& b) {
+  ASSERT_EQ(a.valid, b.valid);
+  // operator== on vector<double> is bitwise equality per element.
+  EXPECT_EQ(a.valid_preds, b.valid_preds);
+  EXPECT_EQ(a.test_preds, b.test_preds);
+}
+
+class FusedParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Large enough that shard size 257 still yields several shards with an
+    // uneven tail, with real (uneven) sector/industry structure.
+    market::MarketConfig mc = market::MarketConfig::BenchScale();
+    mc.num_stocks = 300;
+    mc.num_days = 120;
+    mc.seed = 31;
+    dataset_ = new market::Dataset(
+        market::Dataset::Simulate(mc, market::DatasetConfig{}));
+    ASSERT_GT(dataset_->num_tasks(), 257);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static ExecutorConfig Interp() {
+    ExecutorConfig cfg;
+    cfg.fuse_segments = false;
+    return cfg;
+  }
+  static ExecutorConfig Fused(int threads, int shard_size,
+                              int block_size = 0) {
+    ExecutorConfig cfg;
+    cfg.fuse_segments = true;
+    cfg.intra_candidate_threads = threads;
+    cfg.shard_size = shard_size;
+    cfg.block_size = block_size;
+    cfg.group_parallel_min_tasks = 1;  // force the concurrent group path
+    return cfg;
+  }
+
+  static market::Dataset* dataset_;
+};
+
+market::Dataset* FusedParityTest::dataset_ = nullptr;
+
+TEST_F(FusedParityTest, ProgramFuzzAcrossThreadsAndShardSizes) {
+  // The acceptance matrix: interpreter reference vs fused kernels at
+  // {1, 4, 8} threads x {1, 16, 257} shard sizes, over mutated programs.
+  Mutator mutator{MutatorConfig{}};
+  Rng rng(7);
+
+  Executor reference(*dataset_, Interp());
+  std::vector<std::pair<std::string, Executor>> fused;
+  fused.emplace_back("fused serial", Executor(*dataset_, Fused(1, 0)));
+  for (const int threads : {4, 8}) {
+    for (const int shard_size : {1, 16, 257}) {
+      fused.emplace_back(
+          "fused t" + std::to_string(threads) + " s" +
+              std::to_string(shard_size),
+          Executor(*dataset_, Fused(threads, shard_size)));
+    }
+  }
+  // The interpreter must also survive the arena (it shares the shard
+  // fan-out machinery with the fused path).
+  ExecutorConfig interp_sharded = Interp();
+  interp_sharded.intra_candidate_threads = 4;
+  interp_sharded.shard_size = 16;
+  interp_sharded.group_parallel_min_tasks = 1;
+  fused.emplace_back("interpreter t4 s16",
+                     Executor(*dataset_, interp_sharded));
+
+  AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  for (int i = 0; i < 12; ++i) {
+    SCOPED_TRACE("mutation " + std::to_string(i));
+    const uint64_t seed = 4000 + static_cast<uint64_t>(i);
+    const ExecutionResult expect = reference.Run(prog, seed);
+    for (auto& [name, executor] : fused) {
+      SCOPED_TRACE(name);
+      ExpectBitIdentical(executor.Run(prog, seed), expect);
+    }
+    prog = mutator.Mutate(prog, rng);
+  }
+}
+
+TEST_F(FusedParityTest, BlockSizeCannotChangeResults) {
+  const AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  Executor reference(*dataset_, Interp());
+  const ExecutionResult expect = reference.Run(prog, 55);
+  ASSERT_TRUE(expect.valid);
+  for (const int block : {1, 3, 64, 100000}) {
+    SCOPED_TRACE("block_size=" + std::to_string(block));
+    Executor fused(*dataset_, Fused(4, 16, block));
+    ExpectBitIdentical(fused.Run(prog, 55), expect);
+  }
+}
+
+TEST_F(FusedParityTest, CounterRngDrawsIdenticalAcrossPaths) {
+  // A pure random program: the fused path stamps serial draw ids on its
+  // micro-ops, the interpreter on its instructions — the streams must line
+  // up draw for draw, at any thread count.
+  AlphaProgram prog;
+  prog.setup.push_back(RandomInit(Op::kMatrixGaussian, 1, 0.0, 1.0));
+  prog.predict.push_back(RandomInit(Op::kVectorUniform, 2, -1.0, 1.0));
+  prog.predict.push_back(RandomInit(Op::kVectorGaussian, 3, 0.0, 2.0));
+  prog.predict.push_back(I(Op::kVectorMean, 3, 2));
+  prog.predict.push_back(I(Op::kMatrixMean, 4, 1));
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 3, 4));
+  prog.update.push_back(RandomInit(Op::kMatrixUniform, 1, -0.1, 0.1));
+
+  Executor reference(*dataset_, Interp());
+  const ExecutionResult expect = reference.Run(prog, 99);
+  ASSERT_TRUE(expect.valid);
+  for (const int threads : {1, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Executor fused(*dataset_, Fused(threads, 0));
+    ExpectBitIdentical(fused.Run(prog, 99), expect);
+  }
+  Executor fused(*dataset_, Fused(8, 0));
+  const ExecutionResult other_seed = fused.Run(prog, 100);
+  ASSERT_TRUE(other_seed.valid);
+  EXPECT_NE(other_seed.valid_preds, expect.valid_preds);
+}
+
+TEST_F(FusedParityTest, RelationBoundariesBetweenFusedSegments) {
+  // Back-to-back relation ops (empty segments between them) and leading /
+  // trailing relations: the compiled piece list must preserve program order
+  // exactly.
+  const int w = dataset_->window();
+  AlphaProgram prog;
+  prog.setup.push_back(I(Op::kNoOp, 0));
+  Instruction get;
+  get.op = Op::kGetScalar;
+  get.out = 3;
+  get.idx0 = 0;
+  get.idx1 = static_cast<uint8_t>(w - 1);
+  prog.predict.push_back(get);
+  prog.predict.push_back(I(Op::kRank, 4, 3));
+  Instruction rr = I(Op::kRelationRank, 5, 4);
+  rr.idx0 = 1;
+  prog.predict.push_back(rr);  // relation directly after relation
+  Instruction dm = I(Op::kRelationDemean, 6, 5);
+  dm.idx0 = 0;
+  prog.predict.push_back(dm);
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 6, 4));
+  prog.predict.push_back(I(Op::kRank, kPredictionScalar, kPredictionScalar));
+  prog.update.push_back(I(Op::kNoOp, 0));
+
+  Executor reference(*dataset_, Interp());
+  Executor fused(*dataset_, Fused(4, 16));
+  ExpectBitIdentical(fused.Run(prog, 11), reference.Run(prog, 11));
+}
+
+TEST_F(FusedParityTest, EnvThreadCountCannotChangeResults) {
+  // CI runs ctest under AE_BENCH_THREADS=1 and =4; this turns that into a
+  // fused-vs-interpreter invariance check at the env-selected fan-out.
+  int env_threads = 4;
+  if (const char* env = std::getenv("AE_BENCH_THREADS")) {
+    env_threads = std::max(1, std::atoi(env));
+  }
+  const AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  Executor reference(*dataset_, Interp());
+  Executor fused(*dataset_, Fused(env_threads, 0));
+  ExpectBitIdentical(fused.Run(prog, 42), reference.Run(prog, 42));
+}
+
+// ---- blocked dense kernels vs naive reference loops -----------------------
+
+/// True bitwise comparison (vector operator== fails NaN == NaN even when
+/// the bit patterns agree, and the poisoned inputs below produce NaNs).
+void ExpectSameBits(const std::vector<double>& a,
+                    const std::vector<double>& b, int n) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+      << "n=" << n;
+}
+
+TEST(BlockedKernelsTest, MatMulBitIdenticalToNaive) {
+  Rng rng(3);
+  for (const int n : {1, 2, 3, 4, 5, 7, 8, 13, 16, 31}) {
+    std::vector<double> a(static_cast<size_t>(n) * n);
+    std::vector<double> b(static_cast<size_t>(n) * n);
+    for (double& x : a) x = rng.Gaussian();
+    for (double& x : b) x = rng.Gaussian();
+    // Poison a few entries: NaN/inf propagation must match too.
+    if (n >= 4) {
+      a[1] = std::numeric_limits<double>::quiet_NaN();
+      b[2] = std::numeric_limits<double>::infinity();
+      a[static_cast<size_t>(n)] = -0.0;
+    }
+    std::vector<double> naive(static_cast<size_t>(n) * n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int q = 0; q < n; ++q) acc += a[i * n + q] * b[q * n + j];
+        naive[static_cast<size_t>(i) * n + j] = acc;
+      }
+    }
+    std::vector<double> blocked(static_cast<size_t>(n) * n);
+    MatMulBlocked(a.data(), b.data(), blocked.data(), n);
+    ExpectSameBits(blocked, naive, n);
+  }
+}
+
+TEST(BlockedKernelsTest, MatVecBitIdenticalToNaive) {
+  Rng rng(5);
+  for (const int n : {1, 3, 13, 32}) {
+    std::vector<double> a(static_cast<size_t>(n) * n);
+    std::vector<double> x(static_cast<size_t>(n));
+    for (double& v : a) v = rng.Uniform(-2.0, 2.0);
+    for (double& v : x) v = rng.Uniform(-2.0, 2.0);
+    std::vector<double> naive(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int j = 0; j < n; ++j) acc += a[i * n + j] * x[j];
+      naive[static_cast<size_t>(i)] = acc;
+    }
+    std::vector<double> fast(static_cast<size_t>(n));
+    MatVecInOrder(a.data(), x.data(), fast.data(), n);
+    ExpectSameBits(fast, naive, n);
+  }
+}
+
+TEST(BlockedKernelsTest, TransposeExact) {
+  Rng rng(9);
+  const int n = 13;
+  std::vector<double> a(static_cast<size_t>(n) * n);
+  for (double& v : a) v = rng.Gaussian();
+  std::vector<double> t(static_cast<size_t>(n) * n);
+  TransposeInto(a.data(), t.data(), n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(t[static_cast<size_t>(j) * n + i],
+                a[static_cast<size_t>(i) * n + j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace alphaevolve::core
