@@ -482,6 +482,69 @@ BENCHMARK(BM_EvolutionPooled)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- Async pipelined vs synchronous evolution driver (BENCH_5.json) -------
+// The same candidate stream (fixed seed + batch width) through the batched
+// driver at pipeline depths 0 (synchronous: the driving thread blocks while
+// each batch evaluates), 1 (double-buffered: batch N+1 is mutated / pruned /
+// fingerprinted while batch N evaluates), and 2. Results are bit-identical
+// at every depth (pipelined_evolution_test), so `speedup_vs_sync` — cands/
+// sec over the depth-0 run at the same thread count — is pure overlap gain:
+// the workers never drain between batches and the generator never idles.
+// Thread count comes from AE_BENCH_THREADS (default 4); `cpu_ms_per_cand`
+// is the number to read on a 1-core box, where wall overlap cannot show.
+
+std::map<int, double>& SyncDriverCandsPerSec() {
+  static auto* baselines = new std::map<int, double>();
+  return *baselines;
+}
+
+void BM_EvolutionPipelined(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  int threads = 4;
+  if (const char* env = std::getenv("AE_BENCH_THREADS")) {
+    threads = std::max(1, std::atoi(env));
+  }
+  const auto& ds = BenchDataset(64);
+  core::EvaluatorPool pool(ds, core::EvaluatorConfig{}, threads);
+  core::EvolutionConfig cfg = MicroEvolutionConfig();
+  cfg.pipeline_depth = depth;
+  const auto prog = core::MakeExpertAlpha(ds.window());
+  int64_t candidates = 0;
+  double seconds = 0.0;
+  const std::clock_t cpu0 = std::clock();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Evolution evo(pool, cfg);
+    const core::EvolutionResult r = evo.Run(prog);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    candidates += r.stats.candidates;
+    benchmark::DoNotOptimize(r);
+  }
+  const double cpu_seconds =
+      static_cast<double>(std::clock() - cpu0) / CLOCKS_PER_SEC;
+  state.SetItemsProcessed(candidates);
+  if (seconds > 0.0 && candidates > 0) {
+    const double cps = static_cast<double>(candidates) / seconds;
+    state.counters["cands_per_sec"] = cps;
+    state.counters["cpu_ms_per_cand"] =
+        1e3 * cpu_seconds / static_cast<double>(candidates);
+    if (depth == 0) {
+      SyncDriverCandsPerSec()[threads] = cps;
+    } else if (SyncDriverCandsPerSec().count(threads) > 0) {
+      state.counters["speedup_vs_sync"] =
+          cps / SyncDriverCandsPerSec()[threads];
+    }
+  }
+}
+BENCHMARK(BM_EvolutionPipelined)
+    ->Arg(0)  // synchronous baseline registers first
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // --- Scenario-suite robustness throughput ---------------------------------
 // Fans a 2-alpha set across the standard regime suite (BENCH_3.json): each
 // (alpha, scenario) cell is a full evaluation on that scenario's dataset,

@@ -39,6 +39,8 @@ BenchOptions BenchOptions::FromEnv() {
       std::max(1, EnvInt("AE_BENCH_INTRA_THREADS", opt.intra_threads));
   opt.fuse_segments = EnvInt("AE_BENCH_FUSE", 1) != 0;
   opt.block_size = std::max(0, EnvInt("AE_BENCH_BLOCK", opt.block_size));
+  opt.pipeline_depth =
+      std::max(0, EnvInt("AE_BENCH_PIPELINE", opt.pipeline_depth));
   opt.full = EnvInt("AE_BENCH_FULL", 0) != 0;
   if (opt.full) {
     // Paper-scale universe and calendar (§5.1); budgets stay time-bounded.
@@ -90,6 +92,7 @@ core::EvolutionConfig MakeEvolutionConfig(const BenchOptions& opt,
   cfg.intra_candidate_threads = opt.intra_threads;  // task shards / candidate
   cfg.fuse_segments = opt.fuse_segments ? 1 : 0;
   cfg.block_size = opt.block_size;
+  cfg.pipeline_depth = opt.pipeline_depth;  // overlap generation/evaluation
   return cfg;
 }
 

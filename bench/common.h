@@ -29,6 +29,10 @@ namespace ga = alphaevolve::ga;
 ///   AE_BENCH_FUSE     0 → reference interpreter instead of fused kernels
 ///                     (default 1; bit-identical either way)
 ///   AE_BENCH_BLOCK    fused-path tasks per cache block (default 0 = auto)
+///   AE_BENCH_PIPELINE evolution pipeline depth: in-flight evaluation
+///                     batches overlapped with next-batch generation
+///                     (default 1; 0 = synchronous driver; bit-identical
+///                     at any depth)
 ///   AE_BENCH_FULL     1 → paper-scale grid/budgets   (default 0)
 struct BenchOptions {
   int num_stocks = 150;
@@ -40,6 +44,7 @@ struct BenchOptions {
   int intra_threads = 1;
   bool fuse_segments = true;
   int block_size = 0;
+  int pipeline_depth = 1;
   bool full = false;
 
   static BenchOptions FromEnv();

@@ -7,6 +7,7 @@
 //
 // Run: ./build/mine_alpha_set [rounds] [seconds_per_search] [num_threads]
 //                             [intra_candidate_threads] [json_out] [fuse]
+//                             [pipeline_depth]
 //
 // num_threads evaluates candidates concurrently (inter-candidate);
 // intra_candidate_threads task-shards each candidate's lockstep execution
@@ -15,7 +16,11 @@
 // SearchStats as a diffable JSON artifact — the mining-side counterpart of
 // stress_alpha_set's robustness report. fuse=0 runs the reference
 // interpreter instead of the fused micro-op kernels (bit-identical output,
-// useful for A/B timing the kernel win on your universe).
+// useful for A/B timing the kernel win on your universe). pipeline_depth
+// sets how many evaluation batches each search keeps in flight while it
+// generates the next (default 1; 0 = the synchronous driver; any depth is
+// bit-identical for candidate-bounded searches — time-budgeted ones, like
+// this example's, simply cover more candidates per wall-second).
 
 #include <algorithm>
 #include <cmath>
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
   const int intra_threads = std::max(1, argc > 4 ? std::atoi(argv[4]) : 1);
   const char* json_out = argc > 5 ? argv[5] : nullptr;
   const bool fuse = argc > 6 ? std::atoi(argv[6]) != 0 : true;
+  const int pipeline_depth = std::max(0, argc > 7 ? std::atoi(argv[7]) : 1);
 
   market::MarketConfig mc = market::MarketConfig::BenchScale();
   mc.num_stocks = 80;
@@ -56,13 +62,14 @@ int main(int argc, char** argv) {
   config.max_candidates = 0;
   config.time_budget_seconds = seconds;
   config.num_threads = num_threads;  // batch size auto-derives (4x threads)
+  config.pipeline_depth = pipeline_depth;
   core::WeaklyCorrelatedMiner miner(pool, config);
 
   std::printf(
       "mining %d rounds, %.1fs each, cutoff %.0f%%, %d thread(s), "
-      "%d task shard(s) per candidate, %s kernels\n\n",
+      "%d task shard(s) per candidate, %s kernels, pipeline depth %d\n\n",
       rounds, seconds, config.correlation_cutoff * 100, num_threads,
-      intra_threads, fuse ? "fused" : "interpreter");
+      intra_threads, fuse ? "fused" : "interpreter", pipeline_depth);
   // Every round's per-search attribution, for the JSON artifact.
   std::vector<std::vector<core::SearchStats>> round_stats;
 

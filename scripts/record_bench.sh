@@ -10,41 +10,84 @@
 #                  threads), BM_BlockedMatMul (GFLOP proxy, blocked vs
 #                  naive), BM_ArenaBarrier/BM_PoolForBarrier (per-segment
 #                  barrier cost, persistent arena vs pool re-submission)
+#   BENCH_5.json — async pipelined evolution driver (BM_EvolutionPipelined:
+#                  cands/sec at pipeline depths 0/1/2, speedup vs the
+#                  synchronous depth-0 driver; AE_BENCH_THREADS sets the
+#                  worker count)
+#
+# Every record gets a top-level "machine" object (core count, CPU model,
+# AE_NATIVE on/off, hostname) so numbers from the 1-core dev box and the
+# multicore CI runners are comparable across the PR trajectory.
 #
 # Usage: scripts/record_bench.sh [build_dir] [sharded_out] [robustness_out]
-#                                [kernels_out]
+#                                [kernels_out] [pipeline_out]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 SHARDED_OUT="${2:-BENCH_2.json}"
 ROBUSTNESS_OUT="${3:-BENCH_3.json}"
 KERNELS_OUT="${4:-BENCH_4.json}"
+PIPELINE_OUT="${5:-BENCH_5.json}"
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
   echo "error: $BUILD_DIR/bench_micro not built (google-benchmark missing?)" >&2
   exit 1
 fi
 
-"$BUILD_DIR/bench_micro" \
-  --benchmark_filter='BM_ExecutorSharded' \
-  --benchmark_out="$SHARDED_OUT" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=1
+# AE_NATIVE is a CMake option; read the build's actual setting so the record
+# states which ISA the kernels were compiled for.
+AE_NATIVE_SETTING="unknown"
+if [[ -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  AE_NATIVE_SETTING="$(sed -n 's/^AE_NATIVE:BOOL=//p' "$BUILD_DIR/CMakeCache.txt")"
+  AE_NATIVE_SETTING="${AE_NATIVE_SETTING:-unknown}"
+fi
+export AE_NATIVE_SETTING
 
-echo "wrote $SHARDED_OUT"
+annotate() {
+  python3 - "$1" <<'PY'
+import json, os, platform, sys
 
-"$BUILD_DIR/bench_micro" \
-  --benchmark_filter='BM_RobustnessSuite' \
-  --benchmark_out="$ROBUSTNESS_OUT" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=1
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
 
-echo "wrote $ROBUSTNESS_OUT"
+cpu_model = ""
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.lower().startswith("model name"):
+                cpu_model = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
 
-"$BUILD_DIR/bench_micro" \
-  --benchmark_filter='BM_FusedSegment|BM_BlockedMatMul|BM_ArenaBarrier|BM_PoolForBarrier' \
-  --benchmark_out="$KERNELS_OUT" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=1
+doc["machine"] = {
+    "num_cores": os.cpu_count(),
+    "cpu_model": cpu_model or platform.processor(),
+    "ae_native": os.environ.get("AE_NATIVE_SETTING", "unknown"),
+    "hostname": platform.node(),
+    "platform": platform.platform(),
+    "bench_threads_env": os.environ.get("AE_BENCH_THREADS", ""),
+}
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+PY
+}
 
-echo "wrote $KERNELS_OUT"
+record() {
+  local filter="$1" out="$2"
+  "$BUILD_DIR/bench_micro" \
+    --benchmark_filter="$filter" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+  annotate "$out"
+  echo "wrote $out"
+}
+
+record 'BM_ExecutorSharded' "$SHARDED_OUT"
+record 'BM_RobustnessSuite' "$ROBUSTNESS_OUT"
+record 'BM_FusedSegment|BM_BlockedMatMul|BM_ArenaBarrier|BM_PoolForBarrier' \
+  "$KERNELS_OUT"
+record 'BM_EvolutionPipelined' "$PIPELINE_OUT"

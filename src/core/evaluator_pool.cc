@@ -63,6 +63,50 @@ void EvaluatorPool::ForEach(int n,
   });
 }
 
+void EvaluatorPool::ForEachAsync(int n,
+                                 std::function<void(Evaluator&, int)> fn,
+                                 TaskGroup& group) {
+  if (n <= 0) return;
+  if (thread_pool_ == nullptr) {
+    Lease lease(*this);
+    for (int i = 0; i < n; ++i) fn(*lease, i);
+    return;
+  }
+  // Same work-stealing shape as ForEach, minus the caller's lane: each
+  // submitted worker leases an evaluator and pulls indices from a shared
+  // counter until the batch is exhausted. The counter is owned by the tasks
+  // (shared_ptr) because the submitting frame returns immediately.
+  auto next = std::make_shared<std::atomic<int>>(0);
+  const int workers = std::min(num_threads_, n);
+  for (int w = 0; w < workers; ++w) {
+    group.Submit([this, n, fn, next] {
+      Lease lease(*this);
+      int i;
+      while ((i = next->fetch_add(1, std::memory_order_relaxed)) < n) {
+        fn(*lease, i);
+      }
+    });
+  }
+}
+
+std::unique_ptr<EvaluatorPool::AsyncBatch> EvaluatorPool::EvaluateBatchAsync(
+    std::vector<EvalRequest> batch) {
+  // No std::make_unique: the constructor is private to keep the
+  // (pool, requests) pairing an implementation detail.
+  std::unique_ptr<AsyncBatch> handle(
+      new AsyncBatch(*this, std::move(batch)));
+  AsyncBatch* h = handle.get();
+  ForEachAsync(static_cast<int>(h->batch_.size()),
+               [h](Evaluator& evaluator, int i) {
+                 const EvalRequest& req = h->batch_[static_cast<size_t>(i)];
+                 h->results_[static_cast<size_t>(i)] =
+                     evaluator.Evaluate(*req.program, req.seed,
+                                        req.include_test);
+               },
+               h->group_);
+  return handle;
+}
+
 std::vector<AlphaMetrics> EvaluatorPool::EvaluateBatch(
     const std::vector<EvalRequest>& batch) {
   std::vector<AlphaMetrics> out(batch.size());

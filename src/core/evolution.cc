@@ -80,12 +80,10 @@ void Evolution::ForEachEvaluator(
   }
 }
 
-void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
-  const int n = static_cast<int>(batch.size());
-
-  // Stage 1 — fingerprints. Structural mode prunes and hashes on the
-  // driving thread (microseconds per candidate, §4.2); functional mode
-  // needs a probe evaluation per candidate, so that runs on the pool.
+void Evolution::FingerprintBatch(std::vector<Candidate>& batch) {
+  // Structural mode prunes and hashes on the driving thread (microseconds
+  // per candidate, §4.2); functional mode needs a probe evaluation per
+  // candidate, so that runs on the pool.
   if (config_.use_pruning) {
     for (Candidate& c : batch) {
       PruneResult pr = PruneRedundant(c.program, config_.mutator.limits);
@@ -102,11 +100,44 @@ void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
     for (Candidate& c : batch) {
       c.eval_seed = HashString(c.program.ToString());
     }
-    ForEachEvaluator(n, [&](Evaluator& evaluator, int i) {
-      Candidate& c = batch[static_cast<size_t>(i)];
-      c.fingerprint = evaluator.ProbeFingerprint(c.program, c.eval_seed);
-    });
+    ForEachEvaluator(static_cast<int>(batch.size()),
+                     [&](Evaluator& evaluator, int i) {
+                       Candidate& c = batch[static_cast<size_t>(i)];
+                       c.fingerprint =
+                           evaluator.ProbeFingerprint(c.program, c.eval_seed);
+                     });
   }
+}
+
+void Evolution::EvaluateCandidate(Evaluator& evaluator, Candidate& c) {
+  // Full scoring plus the weak-correlation cutoff (§5.4.1; the accepted set
+  // is immutable for the whole run, so workers read it lock-free), then
+  // publish to the thread-safe cache. Every computed value is deterministic
+  // in (program, seed), so scheduling cannot change any result.
+  const AlphaProgram& program = config_.use_pruning ? c.pruned : c.program;
+  const AlphaMetrics metrics =
+      evaluator.Evaluate(program, c.eval_seed, /*include_test=*/false);
+  double fitness = metrics.valid ? metrics.ic_valid : kInvalidFitness;
+  if (metrics.valid && !accepted_valid_returns_.empty()) {
+    for (const auto& accepted : accepted_valid_returns_) {
+      const double corr = eval::PortfolioCorrelation(
+          metrics.valid_portfolio_returns, accepted);
+      if (std::abs(corr) > config_.correlation_cutoff) {
+        c.cutoff_discarded = true;
+        fitness = kInvalidFitness;
+        break;
+      }
+    }
+  }
+  c.fitness = fitness;
+  cache_->Insert(c.fingerprint, fitness);
+}
+
+void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
+  const int n = static_cast<int>(batch.size());
+
+  // Stage 1 — fingerprints.
+  FingerprintBatch(batch);
 
   // Stage 2 — cache resolution and intra-batch dedup, in batch order, so
   // the outcome matches the serial engine scoring the same children one at
@@ -131,33 +162,12 @@ void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
     to_evaluate.push_back(i);
   }
 
-  // Stage 3 — evaluate the unique remainder in parallel: full scoring plus
-  // the weak-correlation cutoff (§5.4.1; the accepted set is immutable for
-  // the whole run, so workers read it lock-free), then publish to the
-  // thread-safe cache. Every computed value is deterministic in
-  // (program, seed), so scheduling cannot change any result.
+  // Stage 3 — evaluate the unique remainder in parallel.
   ForEachEvaluator(
       static_cast<int>(to_evaluate.size()), [&](Evaluator& evaluator, int k) {
-        Candidate& c =
-            batch[static_cast<size_t>(to_evaluate[static_cast<size_t>(k)])];
-        const AlphaProgram& program =
-            config_.use_pruning ? c.pruned : c.program;
-        const AlphaMetrics metrics =
-            evaluator.Evaluate(program, c.eval_seed, /*include_test=*/false);
-        double fitness = metrics.valid ? metrics.ic_valid : kInvalidFitness;
-        if (metrics.valid && !accepted_valid_returns_.empty()) {
-          for (const auto& accepted : accepted_valid_returns_) {
-            const double corr = eval::PortfolioCorrelation(
-                metrics.valid_portfolio_returns, accepted);
-            if (std::abs(corr) > config_.correlation_cutoff) {
-              c.cutoff_discarded = true;
-              fitness = kInvalidFitness;
-              break;
-            }
-          }
-        }
-        c.fitness = fitness;
-        cache_->Insert(c.fingerprint, fitness);
+        EvaluateCandidate(
+            evaluator,
+            batch[static_cast<size_t>(to_evaluate[static_cast<size_t>(k)])]);
       });
 
   // Stage 4 — resolve duplicates against their first occurrence's final
@@ -197,12 +207,46 @@ AlphaMetrics Evolution::EvaluateFull(const AlphaProgram& program) {
   return serial_evaluator_->Evaluate(program, seed, /*include_test=*/true);
 }
 
+void Evolution::FinishResult(EvolutionResult& result,
+                             std::deque<Member>& population) {
+  // Final selection: best alpha in the population (§3 step 5).
+  const Member* best = nullptr;
+  for (const Member& m : population) {
+    if (m.fitness > kInvalidFitness &&
+        (best == nullptr || m.fitness > best->fitness)) {
+      best = &m;
+    }
+  }
+  if (best != nullptr) {
+    result.has_alpha = true;
+    result.best = best->program;
+    result.best_fitness = best->fitness;
+    // Re-evaluate exactly what the scoring pipeline evaluated (the pruned
+    // form, with the fingerprint seed): pruned-away random ops would
+    // otherwise shift the RNG stream and change the result.
+    if (config_.use_pruning) {
+      result.best_metrics = EvaluateFull(
+          PruneRedundant(best->program, config_.mutator.limits).pruned);
+    } else {
+      result.best_metrics = EvaluateFull(best->program);
+    }
+  }
+}
+
 EvolutionResult Evolution::Run(const AlphaProgram& init) {
   rng_ = Rng(config_.seed);
   // A shared cache belongs to all its sharers (it outlives any one run and
   // must keep earlier sharers' entries); only the per-run cache is reset.
   if (cache_ == &owned_cache_) cache_->Clear();
   stats_ = EvolutionStats{};
+  // Overlapping generation with evaluation needs workers to overlap with;
+  // a poolless (fully serial) evolution always runs the lockstep driver.
+  const bool pipelined = config_.pipeline_depth > 0 && pool_ != nullptr &&
+                         pool_->thread_pool() != nullptr;
+  return pipelined ? RunPipelined(init) : RunSync(init);
+}
+
+EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
   const auto start = Clock::now();
   const int batch_cap = EffectiveBatchSize();
 
@@ -281,29 +325,280 @@ EvolutionResult Evolution::Run(const AlphaProgram& init) {
 
   stats_.elapsed_seconds = Seconds(start, Clock::now());
   result.stats = stats_;
+  FinishResult(result, population);
+  return result;
+}
 
-  // Final selection: best alpha in the population (§3 step 5).
-  const Member* best = nullptr;
-  for (const Member& m : population) {
-    if (m.fitness > kInvalidFitness &&
-        (best == nullptr || m.fitness > best->fitness)) {
-      best = &m;
+// The async pipelined driver. One driving thread generates batches —
+// mutation, pruning, fingerprinting, speculative cache resolution,
+// population insertion — while up to `pipeline_depth` earlier batches
+// evaluate on the pool; commits happen strictly in batch order. Bit-parity
+// with RunSync rests on three invariants:
+//
+//  1. Every value the generator consumes is either deterministic (the RNG
+//     stream, program mutations, fingerprints) or an exact fitness: a
+//     tournament draw that lands on a still-in-flight member waits for that
+//     one member's fitness (helping the pool while it does), never guesses.
+//  2. The in-flight frontier (fingerprint → evaluating candidate) stands in
+//     for exactly the cache inserts the synchronous driver would have
+//     committed before this batch; probing frontier-then-cache therefore
+//     reproduces the synchronous hit/evaluated split — and the cache ends
+//     with identical contents — for a non-shared cache at any depth.
+//  3. Stats, trajectory and cutoff accounting are applied at commit, in
+//     batch order, from fitnesses that are final by then.
+//
+// With a *shared* round cache, sibling searches insert concurrently, so the
+// hit/evaluated split is schedule-dependent — exactly as it already is for
+// the synchronous driver (see EvolutionConfig::share_round_cache); results
+// are unaffected because sharers score the same fitness function.
+EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
+  const auto start = Clock::now();
+  const int batch_cap = EffectiveBatchSize();
+  const int depth = config_.pipeline_depth;
+
+  EvolutionResult result;
+  std::deque<Member> population;
+
+  // Destruction order (reverse of declaration): `group` goes first and its
+  // destructor waits out any still-winding-down worker task, so the batches
+  // in `in_flight` can never be freed under a live task.
+  std::deque<std::unique_ptr<PipelineBatch>> in_flight;
+  TaskGroup group(pool_->thread_pool());
+  // Fingerprints whose unique evaluation is in flight (uncommitted), with
+  // the candidate that owns it. Touched only by the driving thread.
+  std::unordered_map<uint64_t, std::pair<Candidate*, int64_t>> frontier;
+  int64_t planned_candidates = 0;  // committed + in flight
+  int64_t next_serial = 0;
+
+  // Exact fitness of a population member, waiting (and helping the pool)
+  // if its evaluation is still in flight. Resolution is cached so each
+  // member waits at most once.
+  auto fitness_of = [&](Member& m) -> double {
+    if (m.pending != nullptr) {
+      Candidate* c = m.pending;
+      if (!c->ready.load(std::memory_order_acquire)) {
+        group.WaitUntil(
+            [c] { return c->ready.load(std::memory_order_acquire); });
+      }
+      m.fitness = c->fitness;
+      m.pending = nullptr;
     }
-  }
-  if (best != nullptr) {
-    result.has_alpha = true;
-    result.best = best->program;
-    result.best_fitness = best->fitness;
-    // Re-evaluate exactly what ScoreBatch evaluated (the pruned form, with
-    // the fingerprint seed): pruned-away random ops would otherwise shift
-    // the RNG stream and change the result.
-    if (config_.use_pruning) {
-      result.best_metrics = EvaluateFull(
-          PruneRedundant(best->program, config_.mutator.limits).pruned);
-    } else {
-      result.best_metrics = EvaluateFull(best->program);
+    return m.fitness;
+  };
+
+  // The budget gate for *generation* counts planned (not yet committed)
+  // candidates, so the batch-size sequence matches RunSync's, where each
+  // batch is fully committed before the next size is computed.
+  auto out_of_budget = [&]() {
+    if (config_.max_candidates > 0 &&
+        planned_candidates >= config_.max_candidates) {
+      return true;
     }
+    return config_.time_budget_seconds > 0.0 &&
+           Seconds(start, Clock::now()) >= config_.time_budget_seconds;
+  };
+
+  double best_so_far = kInvalidFitness;
+  auto record_trajectory = [&](double fitness) {
+    best_so_far = std::max(best_so_far, fitness);
+    if (config_.trajectory_stride > 0 &&
+        stats_.candidates % config_.trajectory_stride == 0) {
+      result.trajectory.emplace_back(stats_.candidates, best_so_far);
+    }
+  };
+
+  auto generate_batch = [&]() {
+    // Same clamping as RunSync: land exactly on max_candidates, and during
+    // P0 never overshoot the population size.
+    int64_t b64 = batch_cap;
+    if (config_.max_candidates > 0) {
+      b64 = std::min(b64, config_.max_candidates - planned_candidates);
+    }
+    const bool init_phase =
+        static_cast<int>(population.size()) < config_.population_size;
+    if (init_phase) {
+      b64 = std::min<int64_t>(
+          b64, config_.population_size - static_cast<int>(population.size()));
+    }
+    const int b = static_cast<int>(b64);
+    auto batch = std::make_unique<PipelineBatch>();
+    batch->serial = next_serial++;
+    batch->candidates = std::vector<Candidate>(static_cast<size_t>(b));
+    planned_candidates += b;
+
+    // Mutation. Tournament parents are drawn against the population as of
+    // the previous batch's (speculative) insertion — the same state RunSync
+    // sees, since insertions happen in generation order.
+    for (Candidate& c : batch->candidates) {
+      if (init_phase) {
+        c.program = mutator_.Mutate(init, rng_);
+        continue;
+      }
+      int best_idx = rng_.UniformInt(static_cast<int>(population.size()));
+      for (int t = 1; t < config_.tournament_size; ++t) {
+        const int idx = rng_.UniformInt(static_cast<int>(population.size()));
+        if (fitness_of(population[static_cast<size_t>(idx)]) >
+            fitness_of(population[static_cast<size_t>(best_idx)])) {
+          best_idx = idx;
+        }
+      }
+      c.program =
+          mutator_.Mutate(population[static_cast<size_t>(best_idx)].program,
+                          rng_);
+    }
+
+    // Stage 1 — fingerprints (probe evaluations, in functional mode, run a
+    // synchronous fan-out; the in-flight batches keep the workers fed
+    // through it).
+    FingerprintBatch(batch->candidates);
+
+    // Stage 2 — speculative cache resolution in batch order. The frontier
+    // is probed before the cache: an in-flight fingerprint would already be
+    // a committed insert by the time RunSync scored this batch.
+    std::unordered_map<uint64_t, int> first_with_fingerprint;
+    for (int i = 0; i < b; ++i) {
+      Candidate& c = batch->candidates[static_cast<size_t>(i)];
+      if (c.outcome == Candidate::Outcome::kPrunedRedundant) continue;
+      if (const auto it = frontier.find(c.fingerprint);
+          it != frontier.end()) {
+        c.outcome = Candidate::Outcome::kCacheHit;
+        c.hit_source = it->second.first;
+        c.hit_source_batch = it->second.second;
+        continue;
+      }
+      if (auto hit = cache_->Lookup(c.fingerprint)) {
+        c.outcome = Candidate::Outcome::kCacheHit;
+        c.fitness = *hit;
+        continue;
+      }
+      const auto [it, inserted] =
+          first_with_fingerprint.try_emplace(c.fingerprint, i);
+      if (!inserted) {
+        c.outcome = Candidate::Outcome::kDuplicate;
+        c.duplicate_of = it->second;
+        continue;
+      }
+      batch->to_evaluate.push_back(i);
+    }
+    // Only now does the batch join the frontier: its own repeats must stay
+    // kDuplicate, exactly as in the synchronous stage 2.
+    for (const int idx : batch->to_evaluate) {
+      Candidate& c = batch->candidates[static_cast<size_t>(idx)];
+      frontier.emplace(c.fingerprint, std::make_pair(&c, batch->serial));
+    }
+
+    // Population update (speculative): the programs enter now so the next
+    // batch's tournaments see them; in-flight fitnesses resolve via
+    // `pending`. The push/pop sequence is identical to RunSync's commit
+    // loop because batches are generated in commit order.
+    for (int i = 0; i < b; ++i) {
+      Candidate& c = batch->candidates[static_cast<size_t>(i)];
+      Member m;
+      m.program = c.program;  // the candidate keeps its own for evaluation
+      switch (c.outcome) {
+        case Candidate::Outcome::kEvaluated:
+          m.pending = &c;
+          m.pending_batch = batch->serial;
+          break;
+        case Candidate::Outcome::kDuplicate:
+          m.pending =
+              &batch->candidates[static_cast<size_t>(c.duplicate_of)];
+          m.pending_batch = batch->serial;
+          break;
+        case Candidate::Outcome::kCacheHit:
+          if (c.hit_source != nullptr) {
+            m.pending = c.hit_source;
+            m.pending_batch = c.hit_source_batch;
+          } else {
+            m.fitness = c.fitness;
+          }
+          break;
+        case Candidate::Outcome::kPrunedRedundant:
+          m.fitness = c.fitness;
+          break;
+      }
+      population.push_back(std::move(m));
+      if (!init_phase) population.pop_front();
+    }
+
+    // Stage 3 — launch the unique evaluations asynchronously and return
+    // without waiting; per-item completions are published for hazard
+    // resolution and the batch counter for commit.
+    PipelineBatch* bp = batch.get();
+    pool_->ForEachAsync(
+        static_cast<int>(batch->to_evaluate.size()),
+        [this, bp, &group](Evaluator& evaluator, int k) {
+          Candidate& c = bp->candidates[static_cast<size_t>(
+              bp->to_evaluate[static_cast<size_t>(k)])];
+          EvaluateCandidate(evaluator, c);
+          c.ready.store(true, std::memory_order_release);
+          bp->items_done.fetch_add(1, std::memory_order_acq_rel);
+          group.Notify();
+        },
+        group);
+    in_flight.push_back(std::move(batch));
+  };
+
+  auto commit_oldest = [&]() {
+    PipelineBatch& batch = *in_flight.front();
+    const int n_eval = static_cast<int>(batch.to_evaluate.size());
+    group.WaitUntil([&batch, n_eval] {
+      return batch.items_done.load(std::memory_order_acquire) >= n_eval;
+    });
+
+    // Stage 4 + commit, in batch order (frontier-hit fitnesses were filled
+    // when their source batch committed, before this one).
+    for (Candidate& c : batch.candidates) {
+      if (c.outcome == Candidate::Outcome::kDuplicate) {
+        c.fitness =
+            batch.candidates[static_cast<size_t>(c.duplicate_of)].fitness;
+      }
+      ApplyScored(c);
+      record_trajectory(c.fitness);
+    }
+
+    // Retire the batch's frontier entries — its results are committed cache
+    // inserts now — and resolve every outstanding reference into it before
+    // its candidates are destroyed: younger in-flight frontier hits, and
+    // population members still awaiting one of its fitnesses.
+    for (const int idx : batch.to_evaluate) {
+      frontier.erase(batch.candidates[static_cast<size_t>(idx)].fingerprint);
+    }
+    for (size_t y = 1; y < in_flight.size(); ++y) {
+      for (Candidate& c : in_flight[y]->candidates) {
+        if (c.hit_source_batch == batch.serial) {
+          c.fitness = c.hit_source->fitness;
+          c.hit_source = nullptr;
+          c.hit_source_batch = -1;
+        }
+      }
+    }
+    for (Member& m : population) {
+      if (m.pending != nullptr && m.pending_batch == batch.serial) {
+        m.fitness = m.pending->fitness;
+        m.pending = nullptr;
+      }
+    }
+    in_flight.pop_front();
+  };
+
+  // The driver loop: fill the pipeline up to `depth` in-flight batches,
+  // then alternate commit-oldest / generate-next; drain when the budget is
+  // exhausted. (The P0 and regularized-evolution phases of RunSync collapse
+  // into one loop here: a batch mutates the starting parent while the
+  // population is still below size, and tournament parents afterwards.)
+  for (;;) {
+    if (!out_of_budget() && static_cast<int>(in_flight.size()) <= depth) {
+      generate_batch();
+      continue;
+    }
+    if (in_flight.empty()) break;
+    commit_oldest();
   }
+
+  stats_.elapsed_seconds = Seconds(start, Clock::now());
+  result.stats = stats_;
+  FinishResult(result, population);
   return result;
 }
 

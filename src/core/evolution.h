@@ -1,6 +1,7 @@
 #ifndef ALPHAEVOLVE_CORE_EVOLUTION_H_
 #define ALPHAEVOLVE_CORE_EVOLUTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "core/fingerprint_cache.h"
 #include "core/mutator.h"
 #include "core/program.h"
+#include "util/pipeline.h"
 
 namespace alphaevolve::core {
 
@@ -80,6 +82,20 @@ struct EvolutionConfig {
   /// engine's trajectory bit-for-bit; for any fixed B >= 1 the search is
   /// deterministic in the seed and independent of the thread count.
   int batch_size = 0;
+
+  /// Evaluation batches the driver may keep in flight while it generates
+  /// (mutates, prunes, fingerprints) the next one. 0 runs the synchronous
+  /// lockstep driver: the driving thread blocks while each batch is scored.
+  /// >= 1 runs the async pipelined driver: batch N evaluates on the pool
+  /// while batch N+1 is generated, with results committed strictly in batch
+  /// order — accepted alphas, stats, trajectory, and cache contents are
+  /// bit-identical to depth 0 for the same (seed, batch_size) at every
+  /// depth and thread count (tournament draws against a still-evaluating
+  /// member wait for exactly that member's fitness, never the whole batch).
+  /// Ignored (synchronous) without an evaluator pool. Depths > 1 help when
+  /// generation cost per batch approaches evaluation cost (functional
+  /// fingerprints, large programs).
+  int pipeline_depth = 1;
 };
 
 /// Search counters. `candidates` = pruned_redundant + cache_hits + evaluated;
@@ -112,8 +128,12 @@ struct EvolutionResult {
 /// mutate on the driving thread → prune/fingerprint → resolve cache hits and
 /// intra-batch duplicates in batch order → evaluate the unique remainder in
 /// parallel on the evaluator pool (including the correlation cutoff) →
-/// apply stats/trajectory/population updates in batch order. Results depend
-/// only on (seed, batch_size), never on the thread count.
+/// apply stats/trajectory/population updates in batch order. With
+/// `pipeline_depth >= 1` the stages overlap: while a batch's unique
+/// candidates evaluate asynchronously, the driving thread already generates
+/// the next batch, probing speculatively against the in-flight frontier and
+/// reconciling at commit. Results depend only on (seed, batch_size), never
+/// on the thread count or the pipeline depth.
 class Evolution {
  public:
   /// `accepted_valid_returns` holds the validation portfolio-return series
@@ -143,16 +163,11 @@ class Evolution {
   void UseSharedCache(FingerprintCache* cache);
 
  private:
-  struct Member {
-    AlphaProgram program;
-    double fitness;
-  };
-
   /// One candidate moving through the scoring pipeline.
   struct Candidate {
     enum class Outcome {
       kPrunedRedundant,  ///< structurally redundant, never evaluated
-      kCacheHit,         ///< fingerprint already in the cache
+      kCacheHit,         ///< fingerprint already in the cache (or frontier)
       kDuplicate,        ///< same fingerprint as an earlier batch member
       kEvaluated,        ///< full evaluation (possibly cutoff-discarded)
     };
@@ -164,19 +179,60 @@ class Evolution {
     int duplicate_of = -1;      ///< batch index of the first occurrence
     double fitness = kInvalidFitness;
     bool cutoff_discarded = false;
+
+    // Async pipeline state (untouched by the synchronous driver).
+    /// Published by the evaluating worker once `fitness`/`cutoff_discarded`
+    /// are final; the generator reads them only after an acquire load.
+    std::atomic<bool> ready{false};
+    /// Frontier hit: the still-in-flight candidate (of an older batch) this
+    /// one's fitness will come from; resolved when that batch commits.
+    Candidate* hit_source = nullptr;
+    int64_t hit_source_batch = -1;  ///< serial of hit_source's batch
+  };
+
+  /// Population entry. In the pipelined driver, children enter with their
+  /// evaluation still in flight: `pending` points at the candidate that will
+  /// supply `fitness` (resolved lazily by a tournament draw, or at that
+  /// batch's commit — whichever comes first).
+  struct Member {
+    AlphaProgram program;
+    double fitness = kInvalidFitness;
+    Candidate* pending = nullptr;
+    int64_t pending_batch = -1;  ///< serial of the batch owning `pending`
+  };
+
+  /// One batch in flight through the async pipeline.
+  struct PipelineBatch {
+    int64_t serial = 0;        ///< generation (= commit) order
+    std::vector<Candidate> candidates;
+    std::vector<int> to_evaluate;    ///< indices of unique evaluations
+    std::atomic<int> items_done{0};  ///< evaluations finished so far
   };
 
   void Init(EvolutionConfig config);
   int EffectiveBatchSize() const;
   /// Runs fn(evaluator, i) for i in [0, n), parallel when a pool is set.
   void ForEachEvaluator(int n, const std::function<void(Evaluator&, int)>& fn);
+  /// Stage 1: prune + structural fingerprint on the driving thread, or
+  /// probe-evaluate functional fingerprints on the pool.
+  void FingerprintBatch(std::vector<Candidate>& batch);
+  /// Stage 3 body: full evaluation + correlation cutoff + cache publish for
+  /// one unique candidate. Deterministic in (program, eval_seed).
+  void EvaluateCandidate(Evaluator& evaluator, Candidate& c);
   /// Scores a batch through the prune → fingerprint → cache → evaluate →
-  /// cutoff pipeline. Stats are NOT updated here (see ApplyScored).
+  /// cutoff pipeline, synchronously. Stats are NOT updated here (see
+  /// ApplyScored).
   void ScoreBatch(std::vector<Candidate>& batch);
   /// Folds one scored candidate into the stats, in batch order.
   void ApplyScored(const Candidate& candidate);
   /// Re-evaluates the winning program with test-side metrics included.
   AlphaMetrics EvaluateFull(const AlphaProgram& program);
+  /// The lockstep driver (pipeline_depth == 0, or no pool to overlap with).
+  EvolutionResult RunSync(const AlphaProgram& init);
+  /// The bounded producer/consumer driver (pipeline_depth >= 1).
+  EvolutionResult RunPipelined(const AlphaProgram& init);
+  /// Shared tail: final selection + full re-evaluation of the winner.
+  void FinishResult(EvolutionResult& result, std::deque<Member>& population);
 
   Evaluator* serial_evaluator_ = nullptr;  ///< set when no pool drives us
   EvaluatorPool* pool_ = nullptr;          ///< external or owned pool

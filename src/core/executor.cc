@@ -835,7 +835,7 @@ void Executor::ExecShardedSegment(const std::vector<Instruction>& instrs,
   });
 }
 
-void Executor::ExecFusedSegment(FusedSegment& segment) {
+void Executor::ExecFusedSegment(FusedSegment& segment, int refresh_date) {
   // Draw ids are stamped serially on the driving thread, one per random-op
   // *execution*, exactly like the interpreter path — so (seed, draw id) is
   // identical whether this segment then runs fused, sharded, or serial.
@@ -860,9 +860,16 @@ void Executor::ExecFusedSegment(FusedSegment& segment) {
     ctx.n = n_;
     ctx.run_seed = run_seed_;
     // Block-at-a-time: a cache-resident block of tasks runs the whole
-    // segment before the next block is touched.
+    // segment before the next block is touched. A fused input refresh fills
+    // the block's m0 matrices right before the segment consumes them —
+    // still warm — instead of a separate whole-universe sweep per date.
     for (int b0 = t0; b0 < t1; b0 += block_size_) {
       const int b1 = std::min(t1, b0 + block_size_);
+      if (refresh_date >= 0) {
+        for (int k = b0; k < b1; ++k) {
+          dataset_.FillInputMatrix(k, refresh_date, Mat(k, kInputMatrix));
+        }
+      }
       for (const MicroOp& op : segment.ops) op.fn(ctx, op, b0, b1);
     }
   });
@@ -888,12 +895,25 @@ void Executor::ExecComponent(const std::vector<Instruction>& instrs) {
   }
 }
 
-void Executor::ExecCompiled(CompiledComponent& compiled) {
+void Executor::ExecCompiled(CompiledComponent& compiled, int refresh_date) {
+  // The fused refresh needs a leading element-wise segment to ride on; a
+  // component that is empty or opens with a relation op (which reads
+  // scalars the refresh does not touch — but later segments read m0) gets
+  // the standalone sweep instead. Either way every piece sees a fully
+  // refreshed m0, exactly like the interpreter's RefreshInputs-then-run.
+  bool fuse_refresh = refresh_date >= 0;
+  if (fuse_refresh &&
+      (compiled.pieces.empty() || compiled.pieces.front().is_relation)) {
+    RefreshInputs(refresh_date);
+    fuse_refresh = false;
+  }
   for (const CompiledComponent::Piece& piece : compiled.pieces) {
     if (piece.is_relation) {
       ExecRelation(compiled.relations[static_cast<size_t>(piece.index)]);
     } else {
-      ExecFusedSegment(compiled.segments[static_cast<size_t>(piece.index)]);
+      ExecFusedSegment(compiled.segments[static_cast<size_t>(piece.index)],
+                       fuse_refresh ? refresh_date : -1);
+      fuse_refresh = false;
     }
   }
 }
@@ -913,9 +933,16 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
     CompileComponent(program.predict, n_, kHistoryCap, &compiled_[1]);
     CompileComponent(program.update, n_, kHistoryCap, &compiled_[2]);
   }
-  const auto run_predict = [&] {
-    if (fuse_) ExecCompiled(compiled_[1]);
-    else ExecComponent(program.predict);
+  // Per-date m0 refresh + predict. The fused path folds the refresh into
+  // the predict component's first segment (one task-state sweep instead of
+  // two); the interpreter keeps the standalone sweep as reference.
+  const auto predict_at = [&](int date) {
+    if (fuse_) {
+      ExecCompiled(compiled_[1], date);
+    } else {
+      RefreshInputs(date);
+      ExecComponent(program.predict);
+    }
   };
 
   if (fuse_) ExecCompiled(compiled_[0]);
@@ -930,8 +957,7 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
   for (int epoch = 0; epoch < config_.train_epochs; ++epoch) {
     for (int di = 0; di < num_train; ++di) {
       const int date = train_dates[static_cast<size_t>(di)];
-      RefreshInputs(date);
-      run_predict();
+      predict_at(date);
       if (!PredictionsFinite()) {
         result.valid = false;
         return result;
@@ -954,8 +980,7 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
     out.reserve(static_cast<size_t>(num));
     for (int di = 0; di < num; ++di) {
       const int date = dates[static_cast<size_t>(di)];
-      RefreshInputs(date);
-      run_predict();
+      predict_at(date);
       if (!PredictionsFinite()) return false;
       std::vector<double> row(static_cast<size_t>(num_tasks_));
       for (int k = 0; k < num_tasks_; ++k) {

@@ -174,11 +174,19 @@ class Executor {
                           size_t begin, size_t end);
   /// Executes one compiled segment: stamps draw ids, then every shard walks
   /// its tasks block-at-a-time through the whole micro-op list (fused path).
-  void ExecFusedSegment(FusedSegment& segment);
+  /// `refresh_date >= 0` prepends the input-matrix fill for that date to
+  /// each block — the per-date m0 refresh rides the segment's cache pass
+  /// instead of sweeping task state separately (bit-identical: the fill
+  /// writes only the block's own m0 slots, which no other task reads).
+  void ExecFusedSegment(FusedSegment& segment, int refresh_date = -1);
   /// Interpreter walk of a raw component (reference path).
   void ExecComponent(const std::vector<Instruction>& instrs);
-  /// Fused walk of a compiled component (hot path).
-  void ExecCompiled(CompiledComponent& compiled);
+  /// Fused walk of a compiled component (hot path). `refresh_date >= 0`
+  /// fuses RefreshInputs(date) into the first piece when it is an
+  /// element-wise segment (the common predict shape), saving one full
+  /// barrier + task-state sweep per date; when the component starts with a
+  /// relation op (or is empty), the refresh runs standalone first.
+  void ExecCompiled(CompiledComponent& compiled, int refresh_date = -1);
   /// True iff every task's s1 is finite.
   bool PredictionsFinite();
 

@@ -68,6 +68,12 @@ class WeaklyCorrelatedMiner {
   /// workers, so each covers fewer candidates per wall-second than it
   /// would alone. Accept must not be called while this runs.
   ///
+  /// base_config.pipeline_depth composes with the concurrent round: each
+  /// search's driving task generates its next batch while its previous one
+  /// evaluates, all on the same pool (TaskGroup waits help drain the shared
+  /// queue, so the nesting cannot deadlock). Results remain per-search
+  /// deterministic at any depth.
+  ///
   /// When base_config.share_round_cache is set (the default), all searches
   /// of the round share one FingerprintCache — they score the same fitness
   /// function (same cutoff set), so cross-search hits return exactly the

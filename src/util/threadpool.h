@@ -60,11 +60,17 @@ class ThreadPool {
   /// iterations. Safe to call from inside a pool task (see class comment).
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
+  /// Pops and runs one queued short-lived task on the calling thread;
+  /// returns false if none was available (long-lived tasks are left for the
+  /// dedicated workers). This is the "help instead of blocking" primitive
+  /// ParallelFor uses while waiting for its helpers; external waiters (e.g.
+  /// TaskGroup::WaitUntil in util/pipeline.h) drain through it too, so work
+  /// submitted by a thread that then waits can never deadlock behind a full
+  /// pool.
+  bool TryRunOneTask();
+
  private:
   void WorkerLoop();
-  /// Pops and runs one queued short-lived task; returns false if none was
-  /// available (long-lived tasks are left for the dedicated workers).
-  bool TryRunOneTask();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;             ///< short-lived tasks

@@ -227,6 +227,47 @@ TEST_F(FusedParityTest, RelationBoundariesBetweenFusedSegments) {
   ExpectBitIdentical(fused.Run(prog, 11), reference.Run(prog, 11));
 }
 
+TEST_F(FusedParityTest, FusedInputRefreshBitIdentical) {
+  // The per-date input-matrix fill is fused into the predict component's
+  // first segment (one task-state sweep per date instead of two); the
+  // interpreter keeps the standalone RefreshInputs as reference. All three
+  // plan shapes must be bit-identical: a leading element-wise segment that
+  // consumes m0 immediately (the fused fill), a predict that *opens* with a
+  // relation op (standalone fill before the pieces), and an empty predict
+  // whose m0 is only read by the update component.
+  const int w = dataset_->window();
+
+  AlphaProgram segment_first = MakeStressAlpha(w);  // starts by reading m0
+
+  AlphaProgram relation_first;
+  relation_first.predict.push_back(I(Op::kRank, 3, kPredictionScalar));
+  Instruction get;
+  get.op = Op::kGetScalar;
+  get.out = 4;
+  get.idx0 = 0;
+  get.idx1 = static_cast<uint8_t>(w - 1);
+  relation_first.predict.push_back(get);  // m0 read *after* the relation
+  relation_first.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 3, 4));
+
+  AlphaProgram empty_predict;
+  empty_predict.update.push_back(get);  // only update consumes the refresh
+  empty_predict.update.push_back(
+      I(Op::kScalarAdd, kPredictionScalar, 4, kLabelScalar));
+
+  int case_idx = 0;
+  for (const AlphaProgram& prog :
+       {segment_first, relation_first, empty_predict}) {
+    SCOPED_TRACE("case " + std::to_string(case_idx++));
+    Executor reference(*dataset_, Interp());
+    const ExecutionResult expect = reference.Run(prog, 77);
+    for (const int threads : {1, 4}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      Executor fused(*dataset_, Fused(threads, 16));
+      ExpectBitIdentical(fused.Run(prog, 77), expect);
+    }
+  }
+}
+
 TEST_F(FusedParityTest, EnvThreadCountCannotChangeResults) {
   // CI runs ctest under AE_BENCH_THREADS=1 and =4; this turns that into a
   // fused-vs-interpreter invariance check at the env-selected fan-out.
