@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "core/dispatch.h"
 #include "core/evaluator.h"
 #include "core/evaluator_pool.h"
 #include "core/evolution.h"
@@ -341,6 +342,149 @@ void BM_PoolForBarrier(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolForBarrier)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
+// --- Runtime-dispatched kernel variants (BENCH_6.json) --------------------
+// The same row-tiled matmul body compiled per ISA (core/kernels_impl.inc),
+// fetched through the dispatch table: scalar (baseline flags) vs whatever
+// SIMD variants this host can run. Accumulation order is identical across
+// variants (fused_parity_test), so `speedup_vs_scalar` is pure instruction
+// selection. Registered in main() for exactly the runnable variants —
+// scalar first, so it seeds the baseline for each n.
+
+std::map<int, double>& ScalarMatMulPerSec() {
+  static auto* baselines = new std::map<int, double>();
+  return *baselines;
+}
+
+void DispatchedMatMulBody(benchmark::State& state,
+                          const core::KernelTable* table, int n) {
+  Rng rng(11);
+  std::vector<double> a(static_cast<size_t>(n) * n);
+  std::vector<double> b(static_cast<size_t>(n) * n);
+  std::vector<double> out(static_cast<size_t>(n) * n);
+  for (double& x : a) x = rng.Gaussian();
+  for (double& x : b) x = rng.Gaussian();
+  int64_t iters = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    table->matmul(a.data(), b.data(), out.data(), n);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++iters;
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  const double flops_per_iter = 2.0 * n * n * n;
+  state.counters["gflops_proxy"] = benchmark::Counter(
+      flops_per_iter * 1e-9, benchmark::Counter::kIsIterationInvariantRate);
+  if (seconds > 0.0 && iters > 0) {
+    const double per_sec = static_cast<double>(iters) / seconds;
+    if (table->variant == core::KernelVariant::kScalar) {
+      ScalarMatMulPerSec()[n] = per_sec;
+    } else if (ScalarMatMulPerSec().count(n) > 0) {
+      state.counters["speedup_vs_scalar"] = per_sec / ScalarMatMulPerSec()[n];
+    }
+  }
+}
+
+void RegisterDispatchedMatMul() {
+  for (const core::KernelVariant v : core::RunnableKernelVariants()) {
+    const core::KernelTable* table = core::GetKernelTable(v);
+    for (const int n : {13, 32, 64}) {
+      const std::string name = std::string("BM_DispatchedMatMul/") +
+                               core::KernelVariantName(v) + "/" +
+                               std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [table, n](benchmark::State& st) {
+            DispatchedMatMulBody(st, table, n);
+          });
+    }
+  }
+}
+
+// --- Relation ops: in-plan micro-phases vs barrier path (BENCH_6.json) ----
+// A relation-heavy candidate (three relation families splitting the predict
+// component into four fused segments) over the 1100-task universe. The
+// barrier path (PR 4: serial whole-universe gather, group-parallel rank
+// round, serial scatter — per relation) registers first; the in-plan path
+// executes each relation as pre-partitioned per-group gather → rank/demean
+// → scatter inside one arena round. `speedup_vs_barrier` at the same thread
+// count is the lowering gain; results are bit-identical either way
+// (fused_parity_test), and `cpu_ms_per_cand` is the number to read on a
+// 1-core box.
+
+std::map<int, double>& BarrierRelationCandsPerSec() {
+  static auto* baselines = new std::map<int, double>();
+  return *baselines;
+}
+
+void BM_FusedRelationSegment(benchmark::State& state) {
+  const bool in_plan = state.range(0) != 0;
+  const int threads = static_cast<int>(state.range(1));
+  const auto& ds = BenchDataset(1100);
+  core::ExecutorConfig cfg;
+  cfg.intra_candidate_threads = threads;
+  cfg.relation_in_plan = in_plan;
+  core::Executor exec(ds, cfg);
+  core::AlphaProgram prog = core::MakeExpertAlpha(ds.window());
+  auto push_rel = [&prog](core::Op op, int out, int in1, int industry) {
+    core::Instruction ins;
+    ins.op = op;
+    ins.out = static_cast<uint8_t>(out);
+    ins.in1 = static_cast<uint8_t>(in1);
+    ins.idx0 = static_cast<uint8_t>(industry);
+    prog.predict.push_back(ins);
+  };
+  push_rel(core::Op::kRank, 4, core::kPredictionScalar, 0);
+  push_rel(core::Op::kRelationRank, 5, 4, 1);
+  push_rel(core::Op::kRelationDemean, 6, 5, 0);
+  core::Instruction mix;
+  mix.op = core::Op::kScalarAdd;
+  mix.out = core::kPredictionScalar;
+  mix.in1 = 6;
+  mix.in2 = 4;
+  prog.predict.push_back(mix);
+  push_rel(core::Op::kRank, core::kPredictionScalar, core::kPredictionScalar,
+           0);
+
+  int64_t runs = 0;
+  double seconds = 0.0;
+  const std::clock_t cpu0 = std::clock();
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(exec.Run(prog, 1));
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    ++runs;
+  }
+  const double cpu_seconds =
+      static_cast<double>(std::clock() - cpu0) / CLOCKS_PER_SEC;
+  state.SetItemsProcessed(runs * ds.num_tasks());
+  if (seconds > 0.0 && runs > 0) {
+    const double cands_per_sec = static_cast<double>(runs) / seconds;
+    state.counters["cands_per_sec"] = cands_per_sec;
+    state.counters["cpu_ms_per_cand"] =
+        1e3 * cpu_seconds / static_cast<double>(runs);
+    if (!in_plan) {
+      BarrierRelationCandsPerSec()[threads] = cands_per_sec;
+    } else if (BarrierRelationCandsPerSec().count(threads) > 0) {
+      state.counters["speedup_vs_barrier"] =
+          cands_per_sec / BarrierRelationCandsPerSec()[threads];
+    }
+  }
+}
+BENCHMARK(BM_FusedRelationSegment)
+    ->Args({0, 1})  // barrier baselines register first
+    ->Args({1, 1})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_PruneAndFingerprint(benchmark::State& state) {
   // The paper's evaluation-free fingerprint: microseconds per candidate.
   core::MutatorConfig mcfg;
@@ -620,4 +764,29 @@ BENCHMARK(BM_MarketSimulation)->Arg(64)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: stamps the kernel-variant context (detected by CPUID, active
+// after the AE_KERNEL_VARIANT override, compiled into this binary) into the
+// benchmark JSON so a committed BENCH record states which ISA produced it,
+// and registers the per-variant matmul benchmarks for exactly the variants
+// this host can run.
+int main(int argc, char** argv) {
+  namespace core = alphaevolve::core;
+  benchmark::AddCustomContext(
+      "ae_kernel_variant_detected",
+      core::KernelVariantName(core::DetectKernelVariant()));
+  benchmark::AddCustomContext("ae_kernel_variant_active",
+                              core::ResolveKernelTable("").name);
+  std::string compiled;
+  for (const core::KernelVariant v : core::CompiledKernelVariants()) {
+    if (!compiled.empty()) compiled += ",";
+    compiled += core::KernelVariantName(v);
+  }
+  benchmark::AddCustomContext("ae_kernel_variants_compiled", compiled);
+  RegisterDispatchedMatMul();
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

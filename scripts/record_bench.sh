@@ -14,13 +14,20 @@
 #                  cands/sec at pipeline depths 0/1/2, speedup vs the
 #                  synchronous depth-0 driver; AE_BENCH_THREADS sets the
 #                  worker count)
+#   BENCH_6.json — runtime-dispatched kernel variants
+#                  (BM_DispatchedMatMul: the per-ISA matmul tables vs the
+#                  scalar reference, registered for exactly the variants
+#                  this host can run) and relation-in-plan lowering
+#                  (BM_FusedRelationSegment: relation micro-phases inside
+#                  the arena schedule vs the per-relation barrier path)
 #
 # Every record gets a top-level "machine" object (core count, CPU model,
-# AE_NATIVE on/off, hostname) so numbers from the 1-core dev box and the
-# multicore CI runners are comparable across the PR trajectory.
+# AE_NATIVE on/off, hostname, and — from bench_micro's own context — the
+# detected and active kernel variant) so numbers from the 1-core dev box and
+# the multicore CI runners are comparable across the PR trajectory.
 #
 # Usage: scripts/record_bench.sh [build_dir] [sharded_out] [robustness_out]
-#                                [kernels_out] [pipeline_out]
+#                                [kernels_out] [pipeline_out] [dispatch_out]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -28,6 +35,7 @@ SHARDED_OUT="${2:-BENCH_2.json}"
 ROBUSTNESS_OUT="${3:-BENCH_3.json}"
 KERNELS_OUT="${4:-BENCH_4.json}"
 PIPELINE_OUT="${5:-BENCH_5.json}"
+DISPATCH_OUT="${6:-BENCH_6.json}"
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
   echo "error: $BUILD_DIR/bench_micro not built (google-benchmark missing?)" >&2
@@ -69,6 +77,16 @@ doc["machine"] = {
     "platform": platform.platform(),
     "bench_threads_env": os.environ.get("AE_BENCH_THREADS", ""),
 }
+
+# bench_micro stamps the kernel-variant story into the benchmark context
+# (AddCustomContext); lift it next to the machine facts so one object says
+# what ISA actually ran.
+ctx = doc.get("context", {})
+for key in ("ae_kernel_variant_detected", "ae_kernel_variant_active",
+            "ae_kernel_variants_compiled"):
+    if key in ctx:
+        doc["machine"][key] = ctx[key]
+doc["machine"]["kernel_variant_env"] = os.environ.get("AE_KERNEL_VARIANT", "")
 with open(path, "w") as f:
     json.dump(doc, f, indent=1)
     f.write("\n")
@@ -91,3 +109,4 @@ record 'BM_RobustnessSuite' "$ROBUSTNESS_OUT"
 record 'BM_FusedSegment|BM_BlockedMatMul|BM_ArenaBarrier|BM_PoolForBarrier' \
   "$KERNELS_OUT"
 record 'BM_EvolutionPipelined' "$PIPELINE_OUT"
+record 'BM_DispatchedMatMul|BM_FusedRelationSegment' "$DISPATCH_OUT"

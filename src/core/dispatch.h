@@ -1,0 +1,57 @@
+#ifndef ALPHAEVOLVE_CORE_DISPATCH_H_
+#define ALPHAEVOLVE_CORE_DISPATCH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/kernel_table.h"
+
+namespace alphaevolve::core {
+
+/// Runtime kernel-variant selection. The variant translation units
+/// (core/kernels_<variant>.cc) are compiled with per-file arch flags at
+/// configure time; this layer answers, once per Executor construction,
+/// "which of those may this machine run, and which did the user ask for?".
+///
+/// Resolution order (ResolveKernelTable):
+///   1. the explicit `requested` name (ExecutorConfig::kernel_variant);
+///   2. the AE_KERNEL_VARIANT environment variable;
+///   3. "auto": the fastest variant that is both compiled in and supported
+///      by this CPU (CPUID on x86, architectural on AArch64).
+/// A requested variant that is compiled out or unsupported by the hardware
+/// falls back to scalar with a one-time stderr warning (never a crash — a
+/// pinned CI matrix leg still runs, just on the reference kernels); an
+/// unrecognized name aborts loudly. Every variant is bit-identical, so the
+/// knob can never change results — only throughput.
+
+/// Human-readable variant name ("scalar", "avx2", "avx512", "neon").
+const char* KernelVariantName(KernelVariant v);
+
+/// Parses a variant name (as accepted by AE_KERNEL_VARIANT). Returns false
+/// for unknown names; "auto" is not a variant — callers handle it first.
+bool ParseKernelVariant(std::string_view name, KernelVariant* out);
+
+/// The table for `v`, or nullptr when that variant was not compiled in.
+const KernelTable* GetKernelTable(KernelVariant v);
+
+/// True when this machine can execute `v` (compiled-in or not).
+bool KernelVariantSupported(KernelVariant v);
+
+/// Best variant that is both compiled in and supported here (>= kScalar).
+KernelVariant DetectKernelVariant();
+
+/// Variants compiled into this binary (always includes kScalar).
+std::vector<KernelVariant> CompiledKernelVariants();
+
+/// Variants this process can actually run: compiled in AND supported by
+/// the host CPU. What the parity fuzz suite iterates.
+std::vector<KernelVariant> RunnableKernelVariants();
+
+/// Resolves a table per the order documented above. `requested` empty means
+/// "defer to AE_KERNEL_VARIANT, then auto-detect". Never returns null.
+const KernelTable& ResolveKernelTable(const std::string& requested);
+
+}  // namespace alphaevolve::core
+
+#endif  // ALPHAEVOLVE_CORE_DISPATCH_H_

@@ -84,6 +84,27 @@ Executor::Executor(const market::Dataset& dataset, ExecutorConfig config,
     offset += static_cast<int>(dataset.industry_tasks(g).size());
   }
 
+  // Pre-partitioned group views for the in-plan relation lowering: borrowed
+  // pointers into the dataset's (stable) group vectors plus each group's
+  // disjoint rank-order scratch slice. kRank ranks all tasks as one group.
+  rel_groups_.global.push_back({all_tasks_.data(), num_tasks_, 0});
+  rel_groups_.sector.reserve(
+      static_cast<size_t>(dataset.num_sector_groups()));
+  for (int g = 0; g < dataset.num_sector_groups(); ++g) {
+    const auto& members = dataset.sector_tasks(g);
+    rel_groups_.sector.push_back({members.data(),
+                                  static_cast<int>(members.size()),
+                                  sector_order_offset_[static_cast<size_t>(g)]});
+  }
+  rel_groups_.industry.reserve(
+      static_cast<size_t>(dataset.num_industry_groups()));
+  for (int g = 0; g < dataset.num_industry_groups(); ++g) {
+    const auto& members = dataset.industry_tasks(g);
+    rel_groups_.industry.push_back(
+        {members.data(), static_cast<int>(members.size()),
+         industry_order_offset_[static_cast<size_t>(g)]});
+  }
+
   // Shard fan-out: `intra_candidate_threads` workers, each handling
   // `shard_size` tasks per ParallelFor round. With an external pool the
   // executor never spawns threads of its own; standalone it owns a pool of
@@ -113,6 +134,9 @@ Executor::Executor(const market::Dataset& dataset, ExecutorConfig config,
   fuse_ = config_.fuse_segments;
   block_size_ = config_.block_size > 0 ? config_.block_size
                                        : AutoBlockSize(n_);
+  // Resolve the per-ISA kernel table once: config override, then the
+  // AE_KERNEL_VARIANT environment variable, then CPUID/HWCAP detection.
+  ktable_ = &ResolveKernelTable(config_.kernel_variant);
 }
 
 void Executor::ZeroMemory() {
@@ -177,8 +201,8 @@ bool Executor::PredictionsFinite() {
   return true;
 }
 
-void Executor::RankGroup(const std::vector<int>& members, int* order) {
-  const int g = static_cast<int>(members.size());
+void Executor::RankGroup(const int* members, int count, int* order) {
+  const int g = count;
   if (g == 1) {
     rel_out_[static_cast<size_t>(members[0])] = 0.5;
     return;
@@ -187,7 +211,7 @@ void Executor::RankGroup(const std::vector<int>& members, int* order) {
   // sort after every finite value and are mutually equivalent — a raw
   // `<` on doubles containing NaN is not a strict weak ordering, which
   // std::stable_sort requires.
-  for (int i = 0; i < g; ++i) order[i] = members[static_cast<size_t>(i)];
+  for (int i = 0; i < g; ++i) order[i] = members[i];
   std::stable_sort(order, order + g, [&](int a, int b) {
     const double va = rel_in_[static_cast<size_t>(a)];
     const double vb = rel_in_[static_cast<size_t>(b)];
@@ -213,11 +237,14 @@ void Executor::RankGroup(const std::vector<int>& members, int* order) {
   }
 }
 
-void Executor::DemeanGroup(const std::vector<int>& members) {
+void Executor::DemeanGroup(const int* members, int count) {
   double sum = 0.0;
-  for (int t : members) sum += rel_in_[static_cast<size_t>(t)];
-  const double mean = sum / static_cast<double>(members.size());
-  for (int t : members) {
+  for (int i = 0; i < count; ++i) {
+    sum += rel_in_[static_cast<size_t>(members[i])];
+  }
+  const double mean = sum / static_cast<double>(count);
+  for (int i = 0; i < count; ++i) {
+    const int t = members[i];
     rel_out_[static_cast<size_t>(t)] = rel_in_[static_cast<size_t>(t)] - mean;
   }
 }
@@ -230,7 +257,7 @@ void Executor::ExecRelation(const Instruction& ins) {
 
   switch (ins.op) {
     case Op::kRank:
-      RankGroup(all_tasks_, rel_order_.data());
+      RankGroup(all_tasks_.data(), num_tasks_, rel_order_.data());
       break;
     case Op::kRelationRank:
     case Op::kRelationDemean: {
@@ -244,9 +271,10 @@ void Executor::ExecRelation(const Instruction& ins) {
           const int offset =
               by_sector ? sector_order_offset_[static_cast<size_t>(gi)]
                         : industry_order_offset_[static_cast<size_t>(gi)];
-          RankGroup(members, rel_order_.data() + offset);
+          RankGroup(members.data(), static_cast<int>(members.size()),
+                    rel_order_.data() + offset);
         } else {
-          DemeanGroup(members);
+          DemeanGroup(members.data(), static_cast<int>(members.size()));
         }
       };
       // Groups are disjoint (distinct rel_out_ entries and rel_order_
@@ -268,6 +296,45 @@ void Executor::ExecRelation(const Instruction& ins) {
   // Scatter the result back to every task.
   for (int k = 0; k < num_tasks_; ++k) {
     Scalars(k)[ins.out] = rel_out_[static_cast<size_t>(k)];
+  }
+}
+
+void Executor::ExecRelationPlan(const RelationPlan& plan) {
+  // In-plan relation execution: the whole op is one round over its
+  // pre-partitioned groups. Each group's work item gathers its members'
+  // input scalar, ranks or demeans, and scatters the result — the groups
+  // partition the task set, so concurrent items touch disjoint rel_in_ /
+  // rel_out_ / rel_order_ slices and disjoint task scalars by construction.
+  // Per task, the arithmetic is the gather → RankGroup/DemeanGroup →
+  // scatter sequence of ExecRelation exactly, so the two paths match
+  // bit-for-bit; this one replaces two serial whole-universe sweeps plus a
+  // group-only barrier round with a single arena epoch tick.
+  const std::vector<RelationGroup>& groups = *plan.groups;
+  const int num_groups = static_cast<int>(groups.size());
+  auto run_group = [&](int gi) {
+    const RelationGroup& group = groups[static_cast<size_t>(gi)];
+    for (int i = 0; i < group.size; ++i) {
+      const int t = group.members[i];
+      rel_in_[static_cast<size_t>(t)] = Scalars(t)[plan.in1];
+    }
+    if (plan.op == Op::kRelationDemean) {
+      DemeanGroup(group.members, group.size);
+    } else {
+      RankGroup(group.members, group.size,
+                rel_order_.data() + group.order_offset);
+    }
+    for (int i = 0; i < group.size; ++i) {
+      const int t = group.members[i];
+      Scalars(t)[plan.out] = rel_out_[static_cast<size_t>(t)];
+    }
+  };
+  // Same fan-out policy as ExecRelation: per-group work is tiny next to a
+  // barrier on small universes (and kRank is always one global group).
+  if (num_groups > 1 && num_shards_ > 1 && pool_ != nullptr &&
+      num_tasks_ >= config_.group_parallel_min_tasks) {
+    ParallelForItems(num_groups, run_group);
+  } else {
+    for (int gi = 0; gi < num_groups; ++gi) run_group(gi);
   }
 }
 
@@ -863,11 +930,18 @@ void Executor::ExecFusedSegment(FusedSegment& segment, int refresh_date) {
     // segment before the next block is touched. A fused input refresh fills
     // the block's m0 matrices right before the segment consumes them —
     // still warm — instead of a separate whole-universe sweep per date.
+    // The fill is fetched from the dispatched kernel table like every other
+    // fused kernel (a pure float→double widening copy, bitwise exact on
+    // any variant; Dataset::FillInputMatrix stays the interpreter's
+    // reference).
+    const int nf = dataset_.num_features();
+    const int first_date = refresh_date - n_ + 1;
     for (int b0 = t0; b0 < t1; b0 += block_size_) {
       const int b1 = std::min(t1, b0 + block_size_);
       if (refresh_date >= 0) {
         for (int k = b0; k < b1; ++k) {
-          dataset_.FillInputMatrix(k, refresh_date, Mat(k, kInputMatrix));
+          ktable_->fill_input(dataset_.FeatureRow(k, first_date), nf, n_,
+                              Mat(k, kInputMatrix));
         }
       }
       for (const MicroOp& op : segment.ops) op.fn(ctx, op, b0, b1);
@@ -909,7 +983,12 @@ void Executor::ExecCompiled(CompiledComponent& compiled, int refresh_date) {
   }
   for (const CompiledComponent::Piece& piece : compiled.pieces) {
     if (piece.is_relation) {
-      ExecRelation(compiled.relations[static_cast<size_t>(piece.index)]);
+      if (config_.relation_in_plan) {
+        ExecRelationPlan(
+            compiled.relation_plans[static_cast<size_t>(piece.index)]);
+      } else {
+        ExecRelation(compiled.relations[static_cast<size_t>(piece.index)]);
+      }
     } else {
       ExecFusedSegment(compiled.segments[static_cast<size_t>(piece.index)],
                        fuse_refresh ? refresh_date : -1);
@@ -929,9 +1008,12 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
   // fused path — the once-per-Run lowering that the date loop amortizes.
   RunArenaScope arena_scope(*this);
   if (fuse_) {
-    CompileComponent(program.setup, n_, kHistoryCap, &compiled_[0]);
-    CompileComponent(program.predict, n_, kHistoryCap, &compiled_[1]);
-    CompileComponent(program.update, n_, kHistoryCap, &compiled_[2]);
+    CompileComponent(program.setup, n_, kHistoryCap, *ktable_, &rel_groups_,
+                     &compiled_[0]);
+    CompileComponent(program.predict, n_, kHistoryCap, *ktable_, &rel_groups_,
+                     &compiled_[1]);
+    CompileComponent(program.update, n_, kHistoryCap, *ktable_, &rel_groups_,
+                     &compiled_[2]);
   }
   // Per-date m0 refresh + predict. The fused path folds the refresh into
   // the predict component's first segment (one task-state sweep instead of

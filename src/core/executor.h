@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "core/dispatch.h"
 #include "core/fused.h"
 #include "core/program.h"
 #include "market/dataset.h"
@@ -57,6 +59,23 @@ struct ExecutorConfig {
   /// value is bit-identical; the knob only moves the locality /
   /// loop-overhead trade-off.
   int block_size = 0;
+
+  /// Which per-ISA kernel variant the fused path fetches its micro-op and
+  /// dense kernels from: "scalar", "avx2", "avx512", "neon", or "auto".
+  /// Empty (the default) defers to the AE_KERNEL_VARIANT environment
+  /// variable, then to CPUID/HWCAP auto-detection. Every variant is
+  /// bit-identical (kernels vectorize only across independent output
+  /// elements); the knob exists for benchmarking and the parity fuzz suite.
+  /// A requested variant this build or machine cannot run falls back to
+  /// scalar with a warning (see core/dispatch.h).
+  std::string kernel_variant;
+
+  /// Execute relation ops through their in-plan lowering: gather →
+  /// per-group rank/demean → scatter as one group-parallel arena round,
+  /// instead of the serial whole-universe gather/scatter around a
+  /// group-only round (the pre-tier-2 path, kept for comparison).
+  /// Bit-identical either way.
+  bool relation_in_plan = true;
 };
 
 /// Output of one full run: predictions per evaluation date per task.
@@ -93,9 +112,15 @@ struct ExecutionResult {
 ///
 /// Kernel path: with `fuse_segments` (the default) each component is
 /// lowered once per Run into fused micro-op segments (core/fused.h) that a
-/// shard executes block-at-a-time; with it off, the original switch
-/// interpreter runs instruction-at-a-time as the bit-identical reference.
-/// Both paths share the blocked matmul kernels (core/kernels.h).
+/// shard executes block-at-a-time, fetching every kernel — element-wise,
+/// matmul/matvec/transpose, the fused input refresh — from the per-ISA
+/// kernel table resolved at construction (core/dispatch.h); with it off,
+/// the original switch interpreter runs instruction-at-a-time as the
+/// bit-identical reference using the fixed generic kernels (core/kernels.h).
+/// Relation ops on the fused path execute through their in-plan lowering
+/// (`relation_in_plan`): one group-parallel arena round doing gather →
+/// rank/demean → scatter per group, instead of serial whole-universe
+/// sweeps around a group-only barrier round.
 ///
 /// Shard workers: a parallel Run parks a `ShardArena` of persistent helpers
 /// on the pool for its whole duration — per-segment fan-out is then one
@@ -130,6 +155,8 @@ class Executor {
   int n() const { return n_; }
   /// Number of task shards a parallel section fans out to (1 = serial).
   int num_shards() const { return num_shards_; }
+  /// The kernel variant the fused path resolved at construction.
+  const char* kernel_variant_name() const { return ktable_->name; }
 
  private:
   double* Scalars(int task) { return scalars_.data() + task * num_scalars_; }
@@ -164,10 +191,15 @@ class Executor {
   void ExecInstructionRange(const Instruction& ins, int t0, int t1,
                             uint64_t draw_id);
   void ExecRelation(const Instruction& ins);
-  /// Rank/demean over one group's members, writing rel_out_; `order_scratch`
-  /// is a caller-provided slice with space for the group's member count.
-  void RankGroup(const std::vector<int>& members, int* order_scratch);
-  void DemeanGroup(const std::vector<int>& members);
+  /// Executes a relation op through its in-plan lowering: one group-parallel
+  /// round where each group gathers its members' input scalar, ranks or
+  /// demeans, and scatters the result — no whole-universe serial sweeps.
+  void ExecRelationPlan(const RelationPlan& plan);
+  /// Rank/demean over one group's members, reading rel_in_ and writing
+  /// rel_out_ at member indices only; `order_scratch` is a caller-provided
+  /// slice with space for the group's member count.
+  void RankGroup(const int* members, int count, int* order_scratch);
+  void DemeanGroup(const int* members, int count);
   /// Executes instrs[begin, end) — all element-wise — for every task, with
   /// one shard barrier for the whole segment (interpreter path).
   void ExecShardedSegment(const std::vector<Instruction>& instrs,
@@ -204,10 +236,14 @@ class Executor {
 
   // Fused-kernel path. The compiled components are rebuilt at each Run from
   // the program (capacity reused); block_size_ tasks stay cache-hot across
-  // one whole segment. arena_ points at the Run-scoped worker arena while a
-  // parallel Run is in flight (see RunArenaScope in executor.cc).
+  // one whole segment. ktable_ is the per-ISA kernel table resolved once at
+  // construction (core/dispatch.h); every variant is bit-identical. arena_
+  // points at the Run-scoped worker arena while a parallel Run is in flight
+  // (see RunArenaScope in executor.cc).
   bool fuse_ = true;
   int block_size_ = 1;
+  const KernelTable* ktable_ = nullptr;
+  RelationGroupSets rel_groups_;
   CompiledComponent compiled_[kNumComponents];
   ShardArena* arena_ = nullptr;
   friend struct RunArenaScope;

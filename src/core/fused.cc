@@ -1,504 +1,19 @@
-// Micro-op kernels for the executor's fused segment path. Each kernel
-// executes one element-wise op for a block of tasks through a single
-// indirect call (branch-free dispatch: the Op switch happens once, at
-// lowering time). The arithmetic inside every kernel mirrors the
-// interpreter's case for the same op statement-for-statement — per task the
-// two paths perform the identical FP operation sequence, which is what the
-// fused-parity fuzz suite pins down bit-for-bit.
+// Lowering for the executor's fused segment path. The micro-op kernel
+// *bodies* live in core/kernels_impl.inc, compiled once per ISA variant
+// (core/kernels_<variant>.cc) — here each instruction is mapped once to a
+// MicroKernelId and resolved through the caller's KernelTable, so the Op
+// switch (and the variant choice) happens at compile time, never during
+// execution.
 
 #include "core/fused.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "core/kernels.h"
 #include "core/opcode.h"
 #include "util/check.h"
-#include "util/rng.h"
 
 namespace alphaevolve::core {
 namespace {
-
-inline double AddD(double a, double b) { return a + b; }
-inline double SubD(double a, double b) { return a - b; }
-inline double MulD(double a, double b) { return a * b; }
-inline double DivD(double a, double b) { return a / b; }
-inline double MinD(double a, double b) { return std::min(a, b); }
-inline double MaxD(double a, double b) { return std::max(a, b); }
-inline double AbsD(double x) { return std::abs(x); }
-inline double RecipD(double x) { return 1.0 / x; }
-inline double SinD(double x) { return std::sin(x); }
-inline double CosD(double x) { return std::cos(x); }
-inline double TanD(double x) { return std::tan(x); }
-inline double ArcSinD(double x) { return std::asin(x); }
-inline double ArcCosD(double x) { return std::acos(x); }
-inline double ArcTanD(double x) { return std::atan(x); }
-inline double ExpD(double x) { return std::exp(x); }
-inline double LogD(double x) { return std::log(x); }
-inline double StepD(double x) { return x > 0.0 ? 1.0 : 0.0; }
-
-// ---- scalar ---------------------------------------------------------------
-
-void SConst(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, s += c.scalar_stride) s[m.out] = m.imm0;
-}
-
-template <double (*F)(double)>
-void SUnary(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, s += c.scalar_stride) s[m.out] = F(s[m.in1]);
-}
-
-template <double (*F)(double, double)>
-void SBinary(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, s += c.scalar_stride) {
-    s[m.out] = F(s[m.in1], s[m.in2]);
-  }
-}
-
-// ---- vector ---------------------------------------------------------------
-
-void VConst(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride) {
-    std::fill_n(v + m.out, c.n, m.imm0);
-  }
-}
-
-void VScale(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride, s += c.scalar_stride) {
-    const double scale = s[m.in2];
-    const double* a = v + m.in1;
-    double* o = v + m.out;
-    for (int i = 0; i < c.n; ++i) o[i] = scale * a[i];
-  }
-}
-
-void VBroadcast(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride, s += c.scalar_stride) {
-    std::fill_n(v + m.out, c.n, s[m.in1]);
-  }
-}
-
-template <double (*F)(double)>
-void VUnary(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride) {
-    const double* a = v + m.in1;
-    double* o = v + m.out;
-    for (int i = 0; i < c.n; ++i) o[i] = F(a[i]);
-  }
-}
-
-template <double (*F)(double, double)>
-void VBinary(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride) {
-    const double* a = v + m.in1;
-    const double* b = v + m.in2;
-    double* o = v + m.out;
-    for (int i = 0; i < c.n; ++i) o[i] = F(a[i], b[i]);
-  }
-}
-
-void VDot(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride, s += c.scalar_stride) {
-    const double* a = v + m.in1;
-    const double* b = v + m.in2;
-    double acc = 0.0;
-    for (int i = 0; i < c.n; ++i) acc += a[i] * b[i];
-    s[m.out] = acc;
-  }
-}
-
-void VOuter(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride, mt += c.mat_stride) {
-    const double* a = v + m.in1;
-    const double* b = v + m.in2;
-    double* o = mt + m.out;
-    for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < n; ++j) o[i * n + j] = a[i] * b[j];
-    }
-  }
-}
-
-void VNorm(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride, s += c.scalar_stride) {
-    const double* a = v + m.in1;
-    double acc = 0.0;
-    for (int i = 0; i < c.n; ++i) acc += a[i] * a[i];
-    s[m.out] = std::sqrt(acc);
-  }
-}
-
-void VMean(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride, s += c.scalar_stride) {
-    const double* a = v + m.in1;
-    double acc = 0.0;
-    for (int i = 0; i < c.n; ++i) acc += a[i];
-    s[m.out] = acc / c.n;
-  }
-}
-
-void VStd(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride, s += c.scalar_stride) {
-    const double* a = v + m.in1;
-    double mean = 0.0;
-    for (int i = 0; i < c.n; ++i) mean += a[i];
-    mean /= c.n;
-    double ss = 0.0;
-    for (int i = 0; i < c.n; ++i) ss += (a[i] - mean) * (a[i] - mean);
-    s[m.out] = std::sqrt(ss / c.n);
-  }
-}
-
-void VUniform(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const CounterRng crng(c.run_seed, m.draw_id);
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride) {
-    double* o = v + m.out;
-    const uint64_t base =
-        static_cast<uint64_t>(k) * static_cast<uint64_t>(c.n);
-    for (int i = 0; i < c.n; ++i) {
-      o[i] = crng.UniformAt(base + static_cast<uint64_t>(i), m.imm0, m.imm1);
-    }
-  }
-}
-
-void VGaussian(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const CounterRng crng(c.run_seed, m.draw_id);
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, v += c.vec_stride) {
-    double* o = v + m.out;
-    const uint64_t base =
-        static_cast<uint64_t>(k) * static_cast<uint64_t>(c.n);
-    for (int i = 0; i < c.n; ++i) {
-      o[i] = crng.GaussianAt(base + static_cast<uint64_t>(i), m.imm0, m.imm1);
-    }
-  }
-}
-
-// ---- matrix ---------------------------------------------------------------
-
-void MConst(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    std::fill_n(mt + m.out, nn, m.imm0);
-  }
-}
-
-void MScale(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, s += c.scalar_stride) {
-    const double scale = s[m.in2];
-    const double* a = mt + m.in1;
-    double* o = mt + m.out;
-    for (int i = 0; i < nn; ++i) o[i] = scale * a[i];
-  }
-}
-
-template <double (*F)(double)>
-void MUnary(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    const double* a = mt + m.in1;
-    double* o = mt + m.out;
-    for (int i = 0; i < nn; ++i) o[i] = F(a[i]);
-  }
-}
-
-template <double (*F)(double, double)>
-void MBinary(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    const double* a = mt + m.in1;
-    const double* b = mt + m.in2;
-    double* o = mt + m.out;
-    for (int i = 0; i < nn; ++i) o[i] = F(a[i], b[i]);
-  }
-}
-
-/// Destination is distinct from both inputs: write it directly. The
-/// aliasing lowering (`MMatMulScratch`) round-trips through the shard
-/// scratch exactly like the interpreter; both orders move identical bits.
-void MMatMulDirect(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    MatMulBlocked(mt + m.in1, mt + m.in2, mt + m.out, c.n);
-  }
-}
-
-void MMatMulScratch(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    MatMulBlocked(mt + m.in1, mt + m.in2, c.scratch, c.n);
-    std::copy(c.scratch, c.scratch + nn, mt + m.out);
-  }
-}
-
-void MMatVecDirect(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    MatVecInOrder(mt + m.in1, v + m.in2, v + m.out, c.n);
-  }
-}
-
-void MMatVecScratch(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    MatVecInOrder(mt + m.in1, v + m.in2, c.scratch, c.n);
-    std::copy(c.scratch, c.scratch + c.n, v + m.out);
-  }
-}
-
-void MTransposeDirect(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    TransposeInto(mt + m.in1, mt + m.out, c.n);
-  }
-}
-
-void MTransposeScratch(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    TransposeInto(mt + m.in1, c.scratch, c.n);
-    std::copy(c.scratch, c.scratch + nn, mt + m.out);
-  }
-}
-
-void MNorm(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, s += c.scalar_stride) {
-    const double* a = mt + m.in1;
-    double acc = 0.0;
-    for (int i = 0; i < nn; ++i) acc += a[i] * a[i];
-    s[m.out] = std::sqrt(acc);
-  }
-}
-
-void MMean(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, s += c.scalar_stride) {
-    const double* a = mt + m.in1;
-    double acc = 0.0;
-    for (int i = 0; i < nn; ++i) acc += a[i];
-    s[m.out] = acc / nn;
-  }
-}
-
-void MStd(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, s += c.scalar_stride) {
-    const double* a = mt + m.in1;
-    double mean = 0.0;
-    for (int i = 0; i < nn; ++i) mean += a[i];
-    mean /= nn;
-    double ss = 0.0;
-    for (int i = 0; i < nn; ++i) ss += (a[i] - mean) * (a[i] - mean);
-    s[m.out] = std::sqrt(ss / nn);
-  }
-}
-
-void MNormAxisCol(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    const double* a = mt + m.in1;
-    double* o = v + m.out;
-    for (int j = 0; j < n; ++j) {
-      double acc = 0.0;
-      for (int i = 0; i < n; ++i) acc += a[i * n + j] * a[i * n + j];
-      o[j] = std::sqrt(acc);
-    }
-  }
-}
-
-void MNormAxisRow(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    const double* a = mt + m.in1;
-    double* o = v + m.out;
-    for (int i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (int j = 0; j < n; ++j) acc += a[i * n + j] * a[i * n + j];
-      o[i] = std::sqrt(acc);
-    }
-  }
-}
-
-void MMeanAxisCol(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    const double* a = mt + m.in1;
-    double* o = v + m.out;
-    for (int j = 0; j < n; ++j) {
-      double acc = 0.0;
-      for (int i = 0; i < n; ++i) acc += a[i * n + j];
-      o[j] = acc / n;
-    }
-  }
-}
-
-void MMeanAxisRow(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    const double* a = mt + m.in1;
-    double* o = v + m.out;
-    for (int i = 0; i < n; ++i) {
-      double acc = 0.0;
-      for (int j = 0; j < n; ++j) acc += a[i * n + j];
-      o[i] = acc / n;
-    }
-  }
-}
-
-void MBroadcastRows(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    const double* a = v + m.in1;
-    double* o = mt + m.out;
-    for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < n; ++j) o[i * n + j] = a[j];
-    }
-  }
-}
-
-void MBroadcastCols(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    const double* a = v + m.in1;
-    double* o = mt + m.out;
-    for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < n; ++j) o[i * n + j] = a[i];
-    }
-  }
-}
-
-void MUniform(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const CounterRng crng(c.run_seed, m.draw_id);
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    double* o = mt + m.out;
-    const uint64_t base =
-        static_cast<uint64_t>(k) * static_cast<uint64_t>(nn);
-    for (int i = 0; i < nn; ++i) {
-      o[i] = crng.UniformAt(base + static_cast<uint64_t>(i), m.imm0, m.imm1);
-    }
-  }
-}
-
-void MGaussian(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const CounterRng crng(c.run_seed, m.draw_id);
-  double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  const int nn = c.n * c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride) {
-    double* o = mt + m.out;
-    const uint64_t base =
-        static_cast<uint64_t>(k) * static_cast<uint64_t>(nn);
-    for (int i = 0; i < nn; ++i) {
-      o[i] = crng.GaussianAt(base + static_cast<uint64_t>(i), m.imm0, m.imm1);
-    }
-  }
-}
-
-// ---- extraction (in1 pre-resolved to the m0 offset) -----------------------
-
-void GetScalarK(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, s += c.scalar_stride) {
-    s[m.out] = mt[m.in1 + m.idx0];  // idx0 = (row % n) * n + (col % n)
-  }
-}
-
-void GetRowK(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    std::copy_n(mt + m.in1 + m.idx0, c.n, v + m.out);  // idx0 = row * n
-  }
-}
-
-void GetColumnK(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const double* mt = c.matrices + static_cast<size_t>(t0) * c.mat_stride;
-  double* v = c.vectors + static_cast<size_t>(t0) * c.vec_stride;
-  const int n = c.n;
-  for (int k = t0; k < t1; ++k, mt += c.mat_stride, v += c.vec_stride) {
-    const double* m0 = mt + m.in1;
-    double* o = v + m.out;
-    for (int i = 0; i < n; ++i) o[i] = m0[i * n + m.idx0];  // idx0 = column
-  }
-}
-
-// ---- time series ----------------------------------------------------------
-
-void TsRankK(const MicroCtx& c, const MicroOp& m, int t0, int t1) {
-  const int w = m.idx0;  // pre-clamped to [2, hist_cap] at lowering
-  const int avail = std::min(c.hist_size, w);
-  double* s = c.scalars + static_cast<size_t>(t0) * c.scalar_stride;
-  const double* h = c.history + static_cast<size_t>(t0) * c.hist_stride;
-  for (int k = t0; k < t1; ++k, s += c.scalar_stride, h += c.hist_stride) {
-    const double cur = s[m.in1];
-    if (avail == 0) {
-      s[m.out] = 0.5;
-      continue;
-    }
-    int less = 0, equal = 0;
-    for (int d = 1; d <= avail; ++d) {
-      const int slot = (c.hist_head - d + c.hist_cap) % c.hist_cap;
-      const double past = h[slot * c.num_scalars + m.in1];
-      if (past < cur) ++less;
-      else if (past == cur) ++equal;
-    }
-    s[m.out] = (less + 0.5 * equal) / static_cast<double>(avail);
-  }
-}
-
-// ---- lowering -------------------------------------------------------------
 
 /// Element offset of operand `slot` within a task's region of `space`'s
 /// array.
@@ -516,10 +31,11 @@ int SlotOffset(OperandType space, int slot, int n) {
   return 0;
 }
 
-/// Selects the kernel and applies per-op fixups (pre-clamped indices, m0
-/// operand, aliasing variant). One switch per instruction, at compile time
-/// — never again during execution.
-MicroOp LowerOne(const Instruction& ins, int n, int hist_cap) {
+/// Selects the kernel slot and applies per-op fixups (pre-clamped indices,
+/// m0 operand, aliasing variant). One switch per instruction, at compile
+/// time — never again during execution.
+MicroOp LowerOne(const Instruction& ins, int n, int hist_cap,
+                 const KernelTable& table) {
   const OpInfo& info = GetOpInfo(ins.op);
   MicroOp m;
   m.out = SlotOffset(info.out, ins.out, n);
@@ -530,100 +46,107 @@ MicroOp LowerOne(const Instruction& ins, int n, int hist_cap) {
   m.imm0 = ins.imm0;
   m.imm1 = ins.imm1;
 
+  MicroKernelId id = MicroKernelId::kNumMicroKernels;
   switch (ins.op) {
-    case Op::kScalarConst:      m.fn = SConst; break;
-    case Op::kScalarAdd:        m.fn = SBinary<AddD>; break;
-    case Op::kScalarSub:        m.fn = SBinary<SubD>; break;
-    case Op::kScalarMul:        m.fn = SBinary<MulD>; break;
-    case Op::kScalarDiv:        m.fn = SBinary<DivD>; break;
-    case Op::kScalarMin:        m.fn = SBinary<MinD>; break;
-    case Op::kScalarMax:        m.fn = SBinary<MaxD>; break;
-    case Op::kScalarAbs:        m.fn = SUnary<AbsD>; break;
-    case Op::kScalarReciprocal: m.fn = SUnary<RecipD>; break;
-    case Op::kScalarSin:        m.fn = SUnary<SinD>; break;
-    case Op::kScalarCos:        m.fn = SUnary<CosD>; break;
-    case Op::kScalarTan:        m.fn = SUnary<TanD>; break;
-    case Op::kScalarArcSin:     m.fn = SUnary<ArcSinD>; break;
-    case Op::kScalarArcCos:     m.fn = SUnary<ArcCosD>; break;
-    case Op::kScalarArcTan:     m.fn = SUnary<ArcTanD>; break;
-    case Op::kScalarExp:        m.fn = SUnary<ExpD>; break;
-    case Op::kScalarLog:        m.fn = SUnary<LogD>; break;
-    case Op::kScalarHeaviside:  m.fn = SUnary<StepD>; break;
+    case Op::kScalarConst:      id = MicroKernelId::kSConst; break;
+    case Op::kScalarAdd:        id = MicroKernelId::kSAdd; break;
+    case Op::kScalarSub:        id = MicroKernelId::kSSub; break;
+    case Op::kScalarMul:        id = MicroKernelId::kSMul; break;
+    case Op::kScalarDiv:        id = MicroKernelId::kSDiv; break;
+    case Op::kScalarMin:        id = MicroKernelId::kSMin; break;
+    case Op::kScalarMax:        id = MicroKernelId::kSMax; break;
+    case Op::kScalarAbs:        id = MicroKernelId::kSAbs; break;
+    case Op::kScalarReciprocal: id = MicroKernelId::kSRecip; break;
+    case Op::kScalarSin:        id = MicroKernelId::kSSin; break;
+    case Op::kScalarCos:        id = MicroKernelId::kSCos; break;
+    case Op::kScalarTan:        id = MicroKernelId::kSTan; break;
+    case Op::kScalarArcSin:     id = MicroKernelId::kSArcSin; break;
+    case Op::kScalarArcCos:     id = MicroKernelId::kSArcCos; break;
+    case Op::kScalarArcTan:     id = MicroKernelId::kSArcTan; break;
+    case Op::kScalarExp:        id = MicroKernelId::kSExp; break;
+    case Op::kScalarLog:        id = MicroKernelId::kSLog; break;
+    case Op::kScalarHeaviside:  id = MicroKernelId::kSStep; break;
 
-    case Op::kVectorConst:      m.fn = VConst; break;
-    case Op::kVectorScale:      m.fn = VScale; break;
-    case Op::kVectorBroadcast:  m.fn = VBroadcast; break;
-    case Op::kVectorReciprocal: m.fn = VUnary<RecipD>; break;
-    case Op::kVectorAbs:        m.fn = VUnary<AbsD>; break;
-    case Op::kVectorHeaviside:  m.fn = VUnary<StepD>; break;
-    case Op::kVectorAdd:        m.fn = VBinary<AddD>; break;
-    case Op::kVectorSub:        m.fn = VBinary<SubD>; break;
-    case Op::kVectorMul:        m.fn = VBinary<MulD>; break;
-    case Op::kVectorDiv:        m.fn = VBinary<DivD>; break;
-    case Op::kVectorMin:        m.fn = VBinary<MinD>; break;
-    case Op::kVectorMax:        m.fn = VBinary<MaxD>; break;
-    case Op::kVectorDot:        m.fn = VDot; break;
-    case Op::kVectorOuter:      m.fn = VOuter; break;
-    case Op::kVectorNorm:       m.fn = VNorm; break;
-    case Op::kVectorMean:       m.fn = VMean; break;
-    case Op::kVectorStd:        m.fn = VStd; break;
-    case Op::kVectorUniform:    m.fn = VUniform; break;
-    case Op::kVectorGaussian:   m.fn = VGaussian; break;
+    case Op::kVectorConst:      id = MicroKernelId::kVConst; break;
+    case Op::kVectorScale:      id = MicroKernelId::kVScale; break;
+    case Op::kVectorBroadcast:  id = MicroKernelId::kVBroadcast; break;
+    case Op::kVectorReciprocal: id = MicroKernelId::kVRecip; break;
+    case Op::kVectorAbs:        id = MicroKernelId::kVAbs; break;
+    case Op::kVectorHeaviside:  id = MicroKernelId::kVStep; break;
+    case Op::kVectorAdd:        id = MicroKernelId::kVAdd; break;
+    case Op::kVectorSub:        id = MicroKernelId::kVSub; break;
+    case Op::kVectorMul:        id = MicroKernelId::kVMul; break;
+    case Op::kVectorDiv:        id = MicroKernelId::kVDiv; break;
+    case Op::kVectorMin:        id = MicroKernelId::kVMin; break;
+    case Op::kVectorMax:        id = MicroKernelId::kVMax; break;
+    case Op::kVectorDot:        id = MicroKernelId::kVDot; break;
+    case Op::kVectorOuter:      id = MicroKernelId::kVOuter; break;
+    case Op::kVectorNorm:       id = MicroKernelId::kVNorm; break;
+    case Op::kVectorMean:       id = MicroKernelId::kVMean; break;
+    case Op::kVectorStd:        id = MicroKernelId::kVStd; break;
+    case Op::kVectorUniform:    id = MicroKernelId::kVUniform; break;
+    case Op::kVectorGaussian:   id = MicroKernelId::kVGaussian; break;
 
-    case Op::kMatrixConst:      m.fn = MConst; break;
-    case Op::kMatrixScale:      m.fn = MScale; break;
-    case Op::kMatrixReciprocal: m.fn = MUnary<RecipD>; break;
-    case Op::kMatrixAbs:        m.fn = MUnary<AbsD>; break;
-    case Op::kMatrixHeaviside:  m.fn = MUnary<StepD>; break;
-    case Op::kMatrixAdd:        m.fn = MBinary<AddD>; break;
-    case Op::kMatrixSub:        m.fn = MBinary<SubD>; break;
-    case Op::kMatrixMul:        m.fn = MBinary<MulD>; break;
-    case Op::kMatrixDiv:        m.fn = MBinary<DivD>; break;
-    case Op::kMatrixMin:        m.fn = MBinary<MinD>; break;
-    case Op::kMatrixMax:        m.fn = MBinary<MaxD>; break;
+    case Op::kMatrixConst:      id = MicroKernelId::kMConst; break;
+    case Op::kMatrixScale:      id = MicroKernelId::kMScale; break;
+    case Op::kMatrixReciprocal: id = MicroKernelId::kMRecip; break;
+    case Op::kMatrixAbs:        id = MicroKernelId::kMAbs; break;
+    case Op::kMatrixHeaviside:  id = MicroKernelId::kMStep; break;
+    case Op::kMatrixAdd:        id = MicroKernelId::kMAdd; break;
+    case Op::kMatrixSub:        id = MicroKernelId::kMSub; break;
+    case Op::kMatrixMul:        id = MicroKernelId::kMMul; break;
+    case Op::kMatrixDiv:        id = MicroKernelId::kMDiv; break;
+    case Op::kMatrixMin:        id = MicroKernelId::kMMin; break;
+    case Op::kMatrixMax:        id = MicroKernelId::kMMax; break;
     case Op::kMatrixMatMul:
-      m.fn = (ins.out == ins.in1 || ins.out == ins.in2) ? MMatMulScratch
-                                                        : MMatMulDirect;
+      id = (ins.out == ins.in1 || ins.out == ins.in2)
+               ? MicroKernelId::kMMatMulScratch
+               : MicroKernelId::kMMatMulDirect;
       break;
     case Op::kMatrixVectorProduct:
-      m.fn = ins.out == ins.in2 ? MMatVecScratch : MMatVecDirect;
+      id = ins.out == ins.in2 ? MicroKernelId::kMMatVecScratch
+                              : MicroKernelId::kMMatVecDirect;
       break;
     case Op::kMatrixTranspose:
-      m.fn = ins.out == ins.in1 ? MTransposeScratch : MTransposeDirect;
+      id = ins.out == ins.in1 ? MicroKernelId::kMTransposeScratch
+                              : MicroKernelId::kMTransposeDirect;
       break;
-    case Op::kMatrixNorm:       m.fn = MNorm; break;
-    case Op::kMatrixMean:       m.fn = MMean; break;
-    case Op::kMatrixStd:        m.fn = MStd; break;
+    case Op::kMatrixNorm:       id = MicroKernelId::kMNorm; break;
+    case Op::kMatrixMean:       id = MicroKernelId::kMMean; break;
+    case Op::kMatrixStd:        id = MicroKernelId::kMStd; break;
     case Op::kMatrixNormAxis:
-      m.fn = ins.idx0 == 0 ? MNormAxisCol : MNormAxisRow;
+      id = ins.idx0 == 0 ? MicroKernelId::kMNormAxisCol
+                         : MicroKernelId::kMNormAxisRow;
       break;
     case Op::kMatrixMeanAxis:
-      m.fn = ins.idx0 == 0 ? MMeanAxisCol : MMeanAxisRow;
+      id = ins.idx0 == 0 ? MicroKernelId::kMMeanAxisCol
+                         : MicroKernelId::kMMeanAxisRow;
       break;
     case Op::kMatrixBroadcast:
-      m.fn = ins.idx0 == 0 ? MBroadcastRows : MBroadcastCols;
+      id = ins.idx0 == 0 ? MicroKernelId::kMBroadcastRows
+                         : MicroKernelId::kMBroadcastCols;
       break;
-    case Op::kMatrixUniform:    m.fn = MUniform; break;
-    case Op::kMatrixGaussian:   m.fn = MGaussian; break;
+    case Op::kMatrixUniform:    id = MicroKernelId::kMUniform; break;
+    case Op::kMatrixGaussian:   id = MicroKernelId::kMGaussian; break;
 
     case Op::kGetScalar:
-      m.fn = GetScalarK;
+      id = MicroKernelId::kGetScalar;
       m.in1 = kInputMatrix * n * n;
       m.idx0 = (ins.idx0 % n) * n + (ins.idx1 % n);
       break;
     case Op::kGetRow:
-      m.fn = GetRowK;
+      id = MicroKernelId::kGetRow;
       m.in1 = kInputMatrix * n * n;
       m.idx0 = (ins.idx0 % n) * n;
       break;
     case Op::kGetColumn:
-      m.fn = GetColumnK;
+      id = MicroKernelId::kGetColumn;
       m.in1 = kInputMatrix * n * n;
       m.idx0 = ins.idx0 % n;
       break;
 
     case Op::kTsRank:
-      m.fn = TsRankK;
+      id = MicroKernelId::kTsRank;
       m.idx0 = std::max(2, std::min<int>(ins.idx0, hist_cap));
       break;
 
@@ -634,16 +157,39 @@ MicroOp LowerOne(const Instruction& ins, int n, int hist_cap) {
     case Op::kNumOps:
       AE_CHECK_MSG(false, "op does not lower to a micro-op");
   }
-  // A new element-wise op whose case is missing above falls through with a
-  // null kernel; refuse loudly here instead of crashing at dispatch.
-  AE_CHECK_MSG(m.fn != nullptr, "no fused lowering for op");
+  // A new element-wise op whose case is missing above falls through with
+  // the sentinel id; refuse loudly here instead of crashing at dispatch.
+  AE_CHECK_MSG(id != MicroKernelId::kNumMicroKernels,
+               "no fused lowering for op");
+  m.fn = table.micro[static_cast<int>(id)];
+  AE_CHECK_MSG(m.fn != nullptr, "kernel table is missing a micro kernel");
   return m;
+}
+
+/// Resolves a relation instruction into its pre-partitioned group list.
+RelationPlan LowerRelation(const Instruction& ins,
+                           const RelationGroupSets* rel_groups) {
+  RelationPlan plan;
+  plan.op = ins.op;
+  plan.in1 = ins.in1;
+  plan.out = ins.out;
+  if (rel_groups != nullptr) {
+    if (ins.op == Op::kRank) {
+      plan.groups = &rel_groups->global;
+    } else {
+      plan.groups =
+          ins.idx0 == 0 ? &rel_groups->sector : &rel_groups->industry;
+    }
+  }
+  return plan;
 }
 
 }  // namespace
 
 void CompileComponent(const std::vector<Instruction>& instrs, int n,
-                      int hist_cap, CompiledComponent* out) {
+                      int hist_cap, const KernelTable& table,
+                      const RelationGroupSets* rel_groups,
+                      CompiledComponent* out) {
   out->Clear();
   FusedSegment* current = nullptr;
   for (const Instruction& ins : instrs) {
@@ -653,6 +199,7 @@ void CompileComponent(const std::vector<Instruction>& instrs, int n,
       out->pieces.push_back(
           {true, static_cast<int>(out->relations.size())});
       out->relations.push_back(ins);
+      out->relation_plans.push_back(LowerRelation(ins, rel_groups));
       continue;
     }
     if (!micro.fusable) continue;  // kNoOp lowers to nothing
@@ -664,7 +211,7 @@ void CompileComponent(const std::vector<Instruction>& instrs, int n,
     if (micro.takes_draw_id) {
       current->random_ops.push_back(static_cast<int>(current->ops.size()));
     }
-    current->ops.push_back(LowerOne(ins, n, hist_cap));
+    current->ops.push_back(LowerOne(ins, n, hist_cap, table));
   }
 }
 

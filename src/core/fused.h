@@ -6,59 +6,15 @@
 #include <vector>
 
 #include "core/instruction.h"
+#include "core/kernel_table.h"
+#include "core/opcode.h"
 #include "core/program.h"
 
 namespace alphaevolve::core {
 
-/// Everything a micro-op kernel needs to address one task's state: base
-/// pointers into the executor's task-major arrays plus per-task strides (in
-/// doubles). Built per shard per segment execution — `scratch` is the
-/// shard's private n×n temporary and the history fields advance every date.
-struct MicroCtx {
-  double* scalars = nullptr;
-  double* vectors = nullptr;
-  double* matrices = nullptr;
-  const double* history = nullptr;
-  double* scratch = nullptr;
-  size_t scalar_stride = 0;  ///< num_scalars
-  size_t vec_stride = 0;     ///< num_vectors * n
-  size_t mat_stride = 0;     ///< num_matrices * n * n
-  size_t hist_stride = 0;    ///< hist_cap * num_scalars
-  int num_scalars = 0;
-  int hist_cap = 0;
-  int hist_size = 0;
-  int hist_head = 0;
-  int n = 0;
-  uint64_t run_seed = 0;
-};
-
-struct MicroOp;
-
-/// A micro-op kernel executes its op for every task in [t0, t1) — one
-/// indirect call per (op, block), no per-task dispatch of any kind.
-using MicroKernelFn = void (*)(const MicroCtx&, const MicroOp&, int t0,
-                               int t1);
-
-/// One lowered element-wise instruction. Operand slots are pre-resolved to
-/// element offsets within a task's region of the owning array (which array
-/// each slot indexes is baked into the kernel: e.g. v_scale reads `in1`
-/// from the vector array and `in2` from the scalar array, exactly like its
-/// interpreter case). Immediates are copied and indices pre-clamped
-/// (extraction `% n`, ts-rank window), so the kernels branch only on data.
-/// `draw_id` is stamped serially by the driving thread before each
-/// execution of the enclosing segment (random ops only), keeping the
-/// (seed, draw id, task, element) CounterRng key schedule-independent.
-struct MicroOp {
-  MicroKernelFn fn = nullptr;
-  int32_t out = 0;
-  int32_t in1 = 0;
-  int32_t in2 = 0;
-  int32_t idx0 = 0;
-  int32_t idx1 = 0;
-  double imm0 = 0.0;
-  double imm1 = 0.0;
-  uint64_t draw_id = 0;
-};
+// MicroCtx / MicroOp / MicroKernelFn live in core/kernel_table.h so the
+// per-ISA variant translation units can implement the kernels without
+// pulling in the lowering layer.
 
 /// A maximal run of element-wise instructions, compiled for block-at-a-time
 /// execution: the executor walks a cache-resident block of tasks through
@@ -69,21 +25,60 @@ struct FusedSegment {
   std::vector<int> random_ops;
 };
 
-/// A compiled component: fused segments and the relation instructions that
-/// separate them, in program order.
+/// One relation group, pre-resolved at lowering time: a borrowed view of
+/// the member task ids (owned by the dataset / executor, stable for the
+/// executor's lifetime) plus this group's offset into the executor's
+/// rank-order scratch. Groups of one set partition the task universe, so
+/// concurrent groups touch disjoint tasks and scratch slices by
+/// construction.
+struct RelationGroup {
+  const int* members = nullptr;
+  int size = 0;
+  int order_offset = 0;
+};
+
+/// The three group partitions a relation op can rank/demean over. Built
+/// once per Executor (global = all tasks as a single group); lowering picks
+/// one per relation instruction.
+struct RelationGroupSets {
+  std::vector<RelationGroup> global;
+  std::vector<RelationGroup> sector;
+  std::vector<RelationGroup> industry;
+};
+
+/// A relation op lowered into the compiled plan: gather → per-group
+/// rank/demean → scatter runs as *one* group-parallel round on the shard
+/// arena (each group's work item gathers its members' input scalar, ranks
+/// or demeans, and scatters the result), instead of the interpreter's
+/// serial whole-universe gather, a barrier round for the groups, and a
+/// serial whole-universe scatter.
+struct RelationPlan {
+  Op op = Op::kRank;
+  int32_t in1 = 0;
+  int32_t out = 0;
+  /// Borrowed from the RelationGroupSets passed to CompileComponent.
+  const std::vector<RelationGroup>* groups = nullptr;
+};
+
+/// A compiled component: fused segments and the relation pieces that
+/// separate them, in program order. Each relation piece carries both its
+/// raw instruction (the barrier execution path, kept as the bit-identical
+/// reference) and its in-plan lowering (the hot path).
 struct CompiledComponent {
   struct Piece {
     bool is_relation;
-    int index;  ///< into `segments` or `relations`
+    int index;  ///< into `segments` or `relations`/`relation_plans`
   };
   std::vector<Piece> pieces;
   std::vector<FusedSegment> segments;
   std::vector<Instruction> relations;
+  std::vector<RelationPlan> relation_plans;  ///< parallel to `relations`
 
   void Clear() {
     pieces.clear();
     segments.clear();
     relations.clear();
+    relation_plans.clear();
   }
 };
 
@@ -93,8 +88,16 @@ struct CompiledComponent {
 /// segment, relation ops close it, kNoOp lowers to nothing. Aliasing
 /// matmul/matvec/transpose lower to scratch-writing kernel variants; the
 /// non-aliasing ones write their destination directly.
+///
+/// Micro-op kernels are fetched from `table` (one per-ISA variant table per
+/// build; see core/dispatch.h) — the lowering itself is variant-agnostic.
+/// `rel_groups` supplies the pre-partitioned group sets for the in-plan
+/// relation lowering; it may be null when the caller only runs the barrier
+/// relation path (relation_plans then keep null group lists).
 void CompileComponent(const std::vector<Instruction>& instrs, int n,
-                      int hist_cap, CompiledComponent* out);
+                      int hist_cap, const KernelTable& table,
+                      const RelationGroupSets* rel_groups,
+                      CompiledComponent* out);
 
 }  // namespace alphaevolve::core
 

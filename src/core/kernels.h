@@ -5,6 +5,15 @@
 
 namespace alphaevolve::core {
 
+// These inline generic kernels are the *reference* dense implementations:
+// the interpreter path (executor.cc) calls them directly, and their
+// contracts define what every per-ISA variant must reproduce bit-for-bit.
+// The dispatched copies live in core/kernels_impl.inc, compiled once per
+// variant under per-file arch flags and fetched through the kernel table
+// (core/kernel_table.h + core/dispatch.h) — deliberately *separate*
+// instantiations with internal linkage, so no TU compiled with elevated
+// ISA flags can leak a comdat symbol into the portable baseline build.
+
 /// Output rows per matmul tile: one streamed b-row feeds this many
 /// accumulator rows, so b makes n/kMatMulRowTile passes through cache
 /// instead of n.

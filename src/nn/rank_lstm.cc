@@ -8,9 +8,11 @@
 
 namespace alphaevolve::nn {
 
-RankLstm::RankLstm(const market::Dataset& dataset, RankLstmConfig config)
+RankLstm::RankLstm(const market::Dataset& dataset, RankLstmConfig config,
+                   ThreadPool* pool)
     : dataset_(dataset),
       config_(config),
+      pool_(pool),
       rng_(config.seed),
       lstm_(kLstmInputDim, config.hidden, rng_),
       fc_w_(Mat::Xavier(1, config.hidden, rng_)),
@@ -32,6 +34,14 @@ void RankLstm::BuildSequence(int task, int date, float* out) const {
   }
 }
 
+void RankLstm::ParallelOver(int n, const std::function<void(int)>& fn) const {
+  if (pool_ != nullptr && n > 1) {
+    pool_->ParallelFor(n, fn);
+  } else {
+    for (int i = 0; i < n; ++i) fn(i);
+  }
+}
+
 void RankLstm::Train() {
   const int num_tasks = dataset_.num_tasks();
   const int h_dim = config_.hidden;
@@ -42,7 +52,6 @@ void RankLstm::Train() {
   Adam adam_fc_w(fc_w_.size(), config_.lr);
   Adam adam_fc_b(1, config_.lr);
 
-  std::vector<float> seq(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
   std::vector<float> preds(static_cast<size_t>(num_tasks));
   std::vector<float> labels(static_cast<size_t>(num_tasks));
   std::vector<float> d_pred(static_cast<size_t>(num_tasks));
@@ -51,8 +60,12 @@ void RankLstm::Train() {
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     for (int date : train_dates) {
-      // Forward: one batch = all stocks at this date.
-      for (int k = 0; k < num_tasks; ++k) {
+      // Forward: one batch = all stocks at this date. Tasks are independent
+      // (disjoint caches_/h_all/preds slots), so the fan-out is bitwise
+      // deterministic at any thread count.
+      ParallelOver(num_tasks, [&](int k) {
+        thread_local std::vector<float> seq;
+        seq.resize(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
         BuildSequence(k, date, seq.data());
         const float* h =
             lstm_.Forward(seq.data(), config_.seq_len,
@@ -63,7 +76,7 @@ void RankLstm::Train() {
         preds[static_cast<size_t>(k)] = y;
         labels[static_cast<size_t>(k)] =
             static_cast<float>(dataset_.Label(k, date));
-      }
+      });
       RankingLoss(preds, labels, config_.alpha, d_pred.data());
 
       // Backward.
@@ -92,11 +105,14 @@ std::vector<std::vector<double>> RankLstm::Predict(
     const std::vector<int>& dates) {
   const int num_tasks = dataset_.num_tasks();
   const int h_dim = config_.hidden;
-  std::vector<float> seq(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
-  Lstm::Cache cache;
-  std::vector<std::vector<double>> preds;
-  preds.reserve(dates.size());
-  for (int date : dates) {
+  std::vector<std::vector<double>> preds(dates.size());
+  // Inference is embarrassingly parallel across dates; each lane keeps its
+  // own activation cache.
+  ParallelOver(static_cast<int>(dates.size()), [&](int d) {
+    thread_local std::vector<float> seq;
+    thread_local Lstm::Cache cache;
+    seq.resize(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
+    const int date = dates[static_cast<size_t>(d)];
     std::vector<double> row(static_cast<size_t>(num_tasks));
     for (int k = 0; k < num_tasks; ++k) {
       BuildSequence(k, date, seq.data());
@@ -105,8 +121,8 @@ std::vector<std::vector<double>> RankLstm::Predict(
       for (int j = 0; j < h_dim; ++j) y += fc_w_.at(0, j) * h[j];
       row[static_cast<size_t>(k)] = y;
     }
-    preds.push_back(std::move(row));
-  }
+    preds[static_cast<size_t>(d)] = std::move(row);
+  });
   return preds;
 }
 
@@ -114,13 +130,14 @@ void RankLstm::Embeddings(int date, Mat* out) {
   const int num_tasks = dataset_.num_tasks();
   const int h_dim = config_.hidden;
   AE_CHECK(out->rows == num_tasks && out->cols == h_dim);
-  std::vector<float> seq(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
-  Lstm::Cache cache;
-  for (int k = 0; k < num_tasks; ++k) {
+  ParallelOver(num_tasks, [&](int k) {
+    thread_local std::vector<float> seq;
+    thread_local Lstm::Cache cache;
+    seq.resize(static_cast<size_t>(config_.seq_len) * kLstmInputDim);
     BuildSequence(k, date, seq.data());
     const float* h = lstm_.Forward(seq.data(), config_.seq_len, cache);
     std::copy_n(h, h_dim, out->row(k));
-  }
+  });
 }
 
 }  // namespace alphaevolve::nn

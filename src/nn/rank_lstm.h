@@ -1,10 +1,12 @@
 #ifndef ALPHAEVOLVE_NN_RANK_LSTM_H_
 #define ALPHAEVOLVE_NN_RANK_LSTM_H_
 
+#include <functional>
 #include <vector>
 
 #include "market/dataset.h"
 #include "nn/lstm.h"
+#include "util/threadpool.h"
 
 namespace alphaevolve::nn {
 
@@ -24,9 +26,15 @@ struct RankLstmConfig {
 /// features, mapped through a fully connected layer to a predicted return;
 /// trained date-by-date (each date = one batch of all stocks) with the
 /// combined point-wise + pair-wise ranking loss.
+///
+/// When a shared ThreadPool is provided, the per-task forward passes of each
+/// batch fan out across it (every task's FP sequence is independent, so
+/// results are bit-identical to the serial path at any thread count); the
+/// backward pass accumulates into shared gradients and stays serial.
 class RankLstm {
  public:
-  RankLstm(const market::Dataset& dataset, RankLstmConfig config);
+  RankLstm(const market::Dataset& dataset, RankLstmConfig config,
+           ThreadPool* pool = nullptr);
 
   /// Trains on the training split.
   void Train();
@@ -48,8 +56,12 @@ class RankLstm {
   /// Writes the (seq_len × 4) input sequence of `task` ending at `date`.
   void BuildSequence(int task, int date, float* out) const;
 
+  /// fn(i) for i in [0, n) — across pool_ when present, inline otherwise.
+  void ParallelOver(int n, const std::function<void(int)>& fn) const;
+
   const market::Dataset& dataset_;
   RankLstmConfig config_;
+  ThreadPool* pool_;
   Rng rng_;
   Lstm lstm_;
   Mat fc_w_;              // 1 × H

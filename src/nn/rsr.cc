@@ -7,10 +7,10 @@
 
 namespace alphaevolve::nn {
 
-Rsr::Rsr(const market::Dataset& dataset, RsrConfig config)
+Rsr::Rsr(const market::Dataset& dataset, RsrConfig config, ThreadPool* pool)
     : dataset_(dataset),
       config_(config),
-      encoder_(dataset, config.base),
+      encoder_(dataset, config.base, pool),
       w1_(Mat::Xavier(1, config.base.hidden, encoder_.rng_)),
       w2_(Mat::Xavier(1, config.base.hidden, encoder_.rng_)),
       neighbors_(static_cast<size_t>(dataset.num_tasks())) {
@@ -30,17 +30,20 @@ void Rsr::ForwardDate(int date, bool for_training, Mat* e, Mat* e_bar,
   (void)for_training;  // caches are per task and always refreshed
   const int num_tasks = dataset_.num_tasks();
   const int h_dim = config_.base.hidden;
-  std::vector<float> seq(static_cast<size_t>(config_.base.seq_len) *
-                         kLstmInputDim);
-  for (int k = 0; k < num_tasks; ++k) {
+  // Encoder forwards write disjoint caches_/e rows; the aggregation below
+  // reads the finished e and writes only row i — both loops fan out
+  // bit-deterministically across the encoder's pool (inline without one).
+  encoder_.ParallelOver(num_tasks, [&](int k) {
+    thread_local std::vector<float> seq;
+    seq.resize(static_cast<size_t>(config_.base.seq_len) * kLstmInputDim);
     encoder_.BuildSequence(k, date, seq.data());
     const float* h =
         encoder_.lstm_.Forward(seq.data(), config_.base.seq_len,
                                encoder_.caches_[static_cast<size_t>(k)]);
     std::copy_n(h, h_dim, e->row(k));
-  }
+  });
   e_bar->Zero();
-  for (int i = 0; i < num_tasks; ++i) {
+  encoder_.ParallelOver(num_tasks, [&](int i) {
     const auto& nbrs = neighbors_[static_cast<size_t>(i)];
     if (!nbrs.empty()) {
       const float inv = 1.f / static_cast<float>(nbrs.size());
@@ -60,7 +63,7 @@ void Rsr::ForwardDate(int date, bool for_training, Mat* e, Mat* e_bar,
       y += w1_.at(0, q) * e->at(i, q) + w2_.at(0, q) * e_bar->at(i, q);
     }
     (*preds)[static_cast<size_t>(i)] = y;
-  }
+  });
 }
 
 void Rsr::Train() {

@@ -27,7 +27,11 @@ struct RsrConfig {
 /// Trained end-to-end with the same ranking loss.
 class Rsr {
  public:
-  Rsr(const market::Dataset& dataset, RsrConfig config);
+  /// `pool` (optional) fans the per-task encoder forwards and the per-stock
+  /// relation aggregation across shared workers; both are bit-deterministic
+  /// (disjoint writes), and the gradient accumulation stays serial.
+  Rsr(const market::Dataset& dataset, RsrConfig config,
+      ThreadPool* pool = nullptr);
 
   void Train();
   std::vector<std::vector<double>> Predict(const std::vector<int>& dates);

@@ -2,9 +2,23 @@
 
 #include <cmath>
 
+#include "core/dispatch.h"
 #include "util/check.h"
 
 namespace alphaevolve::nn {
+namespace {
+
+// The float kernels ride the same dispatched variant tables as the executor
+// (core/kernels_impl.inc defines nn_matvec / nn_mattvec / nn_addouter with
+// these functions' exact accumulation contracts, so the variant choice can
+// never change a trained model's bits — only its throughput). Resolved once,
+// honoring AE_KERNEL_VARIANT.
+const core::KernelTable& Table() {
+  static const core::KernelTable& table = core::ResolveKernelTable("");
+  return table;
+}
+
+}  // namespace
 
 Mat Mat::Xavier(int r, int c, Rng& rng) {
   Mat m(r, c);
@@ -16,31 +30,15 @@ Mat Mat::Xavier(int r, int c, Rng& rng) {
 }
 
 void MatVec(const Mat& w, const float* x, float* out, bool accumulate) {
-  for (int r = 0; r < w.rows; ++r) {
-    const float* wr = w.row(r);
-    float acc = accumulate ? out[r] : 0.f;
-    for (int c = 0; c < w.cols; ++c) acc += wr[c] * x[c];
-    out[r] = acc;
-  }
+  Table().nn_matvec(w.data.data(), w.rows, w.cols, x, out, accumulate);
 }
 
 void MatTVec(const Mat& w, const float* x, float* out, bool accumulate) {
-  if (!accumulate) {
-    for (int c = 0; c < w.cols; ++c) out[c] = 0.f;
-  }
-  for (int r = 0; r < w.rows; ++r) {
-    const float* wr = w.row(r);
-    const float xr = x[r];
-    for (int c = 0; c < w.cols; ++c) out[c] += wr[c] * xr;
-  }
+  Table().nn_mattvec(w.data.data(), w.rows, w.cols, x, out, accumulate);
 }
 
 void AddOuter(Mat& g, const float* a, const float* b) {
-  for (int r = 0; r < g.rows; ++r) {
-    float* gr = g.row(r);
-    const float ar = a[r];
-    for (int c = 0; c < g.cols; ++c) gr[c] += ar * b[c];
-  }
+  Table().nn_addouter(g.data.data(), g.rows, g.cols, a, b);
 }
 
 Adam::Adam(size_t size, double lr, double beta1, double beta2, double eps)

@@ -1,9 +1,12 @@
 #include "nn/trainer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "eval/metrics.h"
 #include "util/stats.h"
+#include "util/threadpool.h"
 
 namespace alphaevolve::nn {
 
@@ -54,15 +57,27 @@ void Aggregate(const std::vector<TestScores>& test_scores,
   out->valid_sharpe_std = StdDev(sharpes);
 }
 
+/// One shared pool per experiment: outer grid cells / seed sweeps and the
+/// per-batch forward fan-out inside each model draw from the same workers
+/// (ThreadPool::ParallelFor is re-entrant, so nesting cannot deadlock).
+int ExperimentThreads(const ExperimentOptions& options) {
+  if (options.threads > 0) return options.threads;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
 }  // namespace
 
 ModelExperimentResult RunRankLstmExperiment(const market::Dataset& dataset,
                                             const ExperimentOptions& options) {
   ModelExperimentResult result;
   result.best_valid_ic = -2.0;
+  ThreadPool pool(ExperimentThreads(options));
 
   // Grid search on the validation split (one fixed seed, as in the paper's
-  // protocol of selecting hyper-parameters before the 5-seed report).
+  // protocol of selecting hyper-parameters before the 5-seed report). Cells
+  // train concurrently; the winner is still picked by a serial scan in grid
+  // order, so ties resolve exactly as the sequential loop did.
+  std::vector<RankLstmConfig> cells;
   for (int seq_len : options.seq_lens) {
     for (int hidden : options.hiddens) {
       for (double alpha : options.alphas) {
@@ -72,34 +87,41 @@ ModelExperimentResult RunRankLstmExperiment(const market::Dataset& dataset,
         cfg.alpha = alpha;
         cfg.epochs = options.epochs;
         cfg.seed = 1;
-        RankLstm model(dataset, cfg);
-        model.Train();
-        const auto preds = model.Predict(dataset.dates(market::Split::kValid));
-        const double valid_ic = eval::InformationCoefficient(
-            dataset, dataset.dates(market::Split::kValid), preds);
-        if (valid_ic > result.best_valid_ic) {
-          result.best_valid_ic = valid_ic;
-          result.best_config = cfg;
-        }
+        cells.push_back(cfg);
       }
     }
   }
+  std::vector<double> cell_ic(cells.size());
+  pool.ParallelFor(static_cast<int>(cells.size()), [&](int i) {
+    RankLstm model(dataset, cells[static_cast<size_t>(i)], &pool);
+    model.Train();
+    const auto preds = model.Predict(dataset.dates(market::Split::kValid));
+    cell_ic[static_cast<size_t>(i)] = eval::InformationCoefficient(
+        dataset, dataset.dates(market::Split::kValid), preds);
+  });
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cell_ic[i] > result.best_valid_ic) {
+      result.best_valid_ic = cell_ic[i];
+      result.best_config = cells[i];
+    }
+  }
 
-  std::vector<TestScores> test_scores, valid_scores;
-  for (int seed = 0; seed < options.num_seeds; ++seed) {
+  std::vector<TestScores> test_scores(static_cast<size_t>(options.num_seeds));
+  std::vector<TestScores> valid_scores(static_cast<size_t>(options.num_seeds));
+  pool.ParallelFor(options.num_seeds, [&](int seed) {
     RankLstmConfig cfg = result.best_config;
     cfg.seed = static_cast<uint64_t>(100 + seed);
-    RankLstm model(dataset, cfg);
+    RankLstm model(dataset, cfg, &pool);
     model.Train();
-    test_scores.push_back(ScoreOnSplit(
+    test_scores[static_cast<size_t>(seed)] = ScoreOnSplit(
         dataset, market::Split::kTest,
         model.Predict(dataset.dates(market::Split::kTest)),
-        options.portfolio));
-    valid_scores.push_back(ScoreOnSplit(
+        options.portfolio);
+    valid_scores[static_cast<size_t>(seed)] = ScoreOnSplit(
         dataset, market::Split::kValid,
         model.Predict(dataset.dates(market::Split::kValid)),
-        options.portfolio));
-  }
+        options.portfolio);
+  });
   Aggregate(test_scores, valid_scores, &result);
   return result;
 }
@@ -109,23 +131,25 @@ ModelExperimentResult RunRsrExperiment(const market::Dataset& dataset,
                                        const ExperimentOptions& options) {
   ModelExperimentResult result;
   result.best_config = base;
-  std::vector<TestScores> test_scores, valid_scores;
-  for (int seed = 0; seed < options.num_seeds; ++seed) {
+  ThreadPool pool(ExperimentThreads(options));
+  std::vector<TestScores> test_scores(static_cast<size_t>(options.num_seeds));
+  std::vector<TestScores> valid_scores(static_cast<size_t>(options.num_seeds));
+  pool.ParallelFor(options.num_seeds, [&](int seed) {
     RsrConfig cfg;
     cfg.base = base;
     cfg.base.seed = static_cast<uint64_t>(200 + seed);
     cfg.base.epochs = options.epochs;
-    Rsr model(dataset, cfg);
+    Rsr model(dataset, cfg, &pool);
     model.Train();
-    test_scores.push_back(ScoreOnSplit(
+    test_scores[static_cast<size_t>(seed)] = ScoreOnSplit(
         dataset, market::Split::kTest,
         model.Predict(dataset.dates(market::Split::kTest)),
-        options.portfolio));
-    valid_scores.push_back(ScoreOnSplit(
+        options.portfolio);
+    valid_scores[static_cast<size_t>(seed)] = ScoreOnSplit(
         dataset, market::Split::kValid,
         model.Predict(dataset.dates(market::Split::kValid)),
-        options.portfolio));
-  }
+        options.portfolio);
+  });
   Aggregate(test_scores, valid_scores, &result);
   return result;
 }

@@ -21,6 +21,11 @@ struct ExperimentOptions {
   std::vector<double> alphas = {0.1, 1.0};
   int epochs = 4;
   int num_seeds = 5;
+  /// Shared worker count for the grid cells / seed sweep and the per-batch
+  /// forward fan-out inside each model; <= 0 means hardware concurrency.
+  /// Every cell is an independent deterministic computation, so the thread
+  /// count can never change the reported numbers.
+  int threads = 0;
   eval::PortfolioConfig portfolio;
 
   /// The paper's full grid (§5.2) — 64 cells; heavy, opt-in.

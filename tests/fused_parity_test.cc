@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dispatch.h"
 #include "core/executor.h"
 #include "core/generators.h"
 #include "core/kernels.h"
@@ -266,6 +267,108 @@ TEST_F(FusedParityTest, FusedInputRefreshBitIdentical) {
       ExpectBitIdentical(fused.Run(prog, 77), expect);
     }
   }
+}
+
+TEST_F(FusedParityTest, KernelVariantParityFuzz) {
+  // Every kernel variant that was both compiled in and is runnable on this
+  // host must reproduce the interpreter bit-for-bit on the mutated corpus —
+  // the SIMD variants vectorize only across independent output elements, so
+  // there is no tolerance, ever. Each variant runs the full {1, 4, 8}
+  // threads x {1, 16, 257} shard matrix with relations lowered in-plan,
+  // plus one barrier-path configuration (relation_in_plan = false) to pin
+  // the two relation execution strategies to each other as well.
+  Mutator mutator{MutatorConfig{}};
+  Rng rng(17);
+
+  Executor reference(*dataset_, Interp());
+  std::vector<std::pair<std::string, Executor>> forced;
+  for (const KernelVariant v : RunnableKernelVariants()) {
+    const std::string vname = KernelVariantName(v);
+    for (const int threads : {1, 4, 8}) {
+      for (const int shard_size : {1, 16, 257}) {
+        ExecutorConfig cfg = Fused(threads, shard_size);
+        cfg.kernel_variant = vname;
+        forced.emplace_back(vname + " t" + std::to_string(threads) + " s" +
+                                std::to_string(shard_size),
+                            Executor(*dataset_, cfg));
+      }
+    }
+    ExecutorConfig barrier = Fused(4, 16);
+    barrier.kernel_variant = vname;
+    barrier.relation_in_plan = false;
+    forced.emplace_back(vname + " barrier t4 s16",
+                        Executor(*dataset_, barrier));
+  }
+  ASSERT_GE(forced.size(), 10u);  // scalar always compiles: 9 + 1 minimum
+
+  // MakeStressAlpha keeps all three relation ops in the corpus even when a
+  // mutation step rewrites other instructions.
+  AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  for (int i = 0; i < 5; ++i) {
+    SCOPED_TRACE("mutation " + std::to_string(i));
+    const uint64_t seed = 6000 + static_cast<uint64_t>(i);
+    const ExecutionResult expect = reference.Run(prog, seed);
+    for (auto& [name, executor] : forced) {
+      SCOPED_TRACE(name);
+      ExpectBitIdentical(executor.Run(prog, seed), expect);
+    }
+    prog = mutator.Mutate(prog, rng);
+  }
+}
+
+TEST_F(FusedParityTest, RelationInPlanMatchesBarrierPath) {
+  // Relation-heavy shape: back-to-back relations, a relation opening the
+  // predict component, and a trailing relation writing the prediction. The
+  // in-plan lowering (gather -> group rank/demean -> scatter inside one
+  // arena round) and the PR 4 barrier path must agree with the interpreter
+  // bit-for-bit at every fan-out, for every runnable variant.
+  AlphaProgram prog;
+  prog.predict.push_back(I(Op::kRank, 3, kPredictionScalar));
+  Instruction get;
+  get.op = Op::kGetScalar;
+  get.out = 4;
+  get.idx0 = 0;
+  get.idx1 = static_cast<uint8_t>(dataset_->window() - 1);
+  prog.predict.push_back(get);
+  Instruction rr = I(Op::kRelationRank, 5, 4);
+  rr.idx0 = 1;
+  prog.predict.push_back(rr);
+  Instruction dm = I(Op::kRelationDemean, 6, 5);
+  dm.idx0 = 0;
+  prog.predict.push_back(dm);
+  prog.predict.push_back(I(Op::kScalarAdd, kPredictionScalar, 6, 3));
+  prog.predict.push_back(I(Op::kRank, kPredictionScalar, kPredictionScalar));
+
+  Executor reference(*dataset_, Interp());
+  const ExecutionResult expect = reference.Run(prog, 23);
+  ASSERT_TRUE(expect.valid);
+  for (const KernelVariant v : RunnableKernelVariants()) {
+    for (const int threads : {1, 8}) {
+      for (const bool in_plan : {true, false}) {
+        SCOPED_TRACE(std::string(KernelVariantName(v)) + " threads=" +
+                     std::to_string(threads) +
+                     (in_plan ? " in-plan" : " barrier"));
+        ExecutorConfig cfg = Fused(threads, 16);
+        cfg.kernel_variant = KernelVariantName(v);
+        cfg.relation_in_plan = in_plan;
+        Executor fused(*dataset_, cfg);
+        ExpectBitIdentical(fused.Run(prog, 23), expect);
+      }
+    }
+  }
+}
+
+TEST_F(FusedParityTest, ScalarVariantIsDefaultTable) {
+  // AE_KERNEL_VARIANT=scalar (here forced through the config, which takes
+  // precedence over the env) must reproduce the auto-dispatched results
+  // exactly — the variants differ in instruction selection, never in value.
+  const AlphaProgram prog = MakeStressAlpha(dataset_->window());
+  ExecutorConfig scalar_cfg = Fused(4, 16);
+  scalar_cfg.kernel_variant = "scalar";
+  Executor scalar_exec(*dataset_, scalar_cfg);
+  EXPECT_STREQ(scalar_exec.kernel_variant_name(), "scalar");
+  Executor auto_exec(*dataset_, Fused(4, 16));
+  ExpectBitIdentical(scalar_exec.Run(prog, 63), auto_exec.Run(prog, 63));
 }
 
 TEST_F(FusedParityTest, EnvThreadCountCannotChangeResults) {

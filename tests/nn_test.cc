@@ -10,6 +10,7 @@
 #include "nn/tensor.h"
 #include "nn/trainer.h"
 #include "test_util.h"
+#include "util/threadpool.h"
 
 namespace alphaevolve::nn {
 namespace {
@@ -236,6 +237,33 @@ TEST_F(NnModelTest, RankLstmDeterministicPerSeed) {
   const auto pa = a.Predict(dataset_->dates(market::Split::kValid));
   const auto pb = b.Predict(dataset_->dates(market::Split::kValid));
   EXPECT_EQ(pa, pb);
+}
+
+TEST_F(NnModelTest, PooledTrainingBitIdenticalToSerial) {
+  // The ThreadPool fan-out covers only the per-task forward passes (disjoint
+  // writes) — pooled and serial training of the same seed must produce the
+  // same bits, for Rank_LSTM and for RSR's relation aggregation.
+  ThreadPool pool(4);
+  RankLstmConfig cfg;
+  cfg.seq_len = 4;
+  cfg.hidden = 8;
+  cfg.epochs = 1;
+  cfg.seed = 13;
+  RankLstm serial(*dataset_, cfg);
+  RankLstm pooled(*dataset_, cfg, &pool);
+  serial.Train();
+  pooled.Train();
+  EXPECT_EQ(serial.Predict(dataset_->dates(market::Split::kValid)),
+            pooled.Predict(dataset_->dates(market::Split::kValid)));
+
+  RsrConfig rcfg;
+  rcfg.base = cfg;
+  Rsr rsr_serial(*dataset_, rcfg);
+  Rsr rsr_pooled(*dataset_, rcfg, &pool);
+  rsr_serial.Train();
+  rsr_pooled.Train();
+  EXPECT_EQ(rsr_serial.Predict(dataset_->dates(market::Split::kValid)),
+            rsr_pooled.Predict(dataset_->dates(market::Split::kValid)));
 }
 
 TEST_F(NnModelTest, RsrTrainsAndPredictsFinite) {
