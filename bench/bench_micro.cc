@@ -24,6 +24,7 @@
 #include "ga/expr.h"
 #include "market/dataset.h"
 #include "scenario/robustness.h"
+#include "scenario/scenario_fitness.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 
@@ -748,6 +749,110 @@ BENCHMARK(BM_RobustnessSuite)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Stress-in-the-loop mining throughput (BENCH_7.json) ------------------
+// Evolution with ScenarioFitness over the full 7-regime standard suite:
+// every surviving candidate is scored on all regimes, served either as lazy
+// copy-on-write overlay views of one shared panel or as fully materialized
+// per-regime panels (bit-identical fitness either way — panel_overlay_test).
+// Args are (panel mode, screen): mode 0 = lazy overlays, 1 = materialized;
+// screen 0 = every valid candidate pays the full regime fan-out, 1 = the
+// cheap-first baseline screen (ic_valid < 0) rejects before fanning out.
+// `panel_resident_bytes` and `mem_ratio_vs_materialized` give the headline
+// memory win; `speedup_vs_no_screen` (same panel mode, screen-off run
+// registered first) gives the screening win; `scenario_evals_per_cand`
+// shows where it comes from (fewer regime evaluations per candidate).
+// Thread count comes from AE_BENCH_THREADS (default 4).
+
+scenario::ScenarioSuite ScenarioBenchSuite() {
+  market::MarketConfig mc = market::MarketConfig::BenchScale();
+  mc.num_stocks = 64;
+  mc.num_days = 300;
+  mc.seed = 11;
+  return scenario::ScenarioSuite::Standard(mc, 77);
+}
+
+std::map<int, double>& ScreenOffCandsPerSec() {
+  static auto* baselines = new std::map<int, double>();
+  return *baselines;
+}
+
+void BM_ScenarioFitness(benchmark::State& state) {
+  const bool materialized = state.range(0) != 0;
+  const bool screen = state.range(1) != 0;
+  int threads = 4;
+  if (const char* env = std::getenv("AE_BENCH_THREADS")) {
+    threads = std::max(1, std::atoi(env));
+  }
+  core::ScenarioFitnessOptions options;
+  options.cheap_first_screen = screen;
+  // Construction — one base simulation, plus the 7-panel copy in
+  // materialized mode — happens outside the timing loop.
+  ThreadPool build_pool(threads);
+  scenario::ScenarioFitness scorer(
+      ScenarioBenchSuite(), market::DatasetConfig{}, core::EvaluatorConfig{},
+      options,
+      materialized ? scenario::PanelOverlay::Mode::kMaterialized
+                   : scenario::PanelOverlay::Mode::kLazy,
+      &build_pool);
+  core::EvaluatorPool pool(scorer.baseline_panel(), core::EvaluatorConfig{},
+                           threads);
+  scorer.set_fanout_pool(pool.thread_pool());
+  core::EvolutionConfig cfg = MicroEvolutionConfig();
+  cfg.max_candidates = 200;  // each survivor costs up to 7 evaluations
+  const auto prog = core::MakeExpertAlpha(market::kNumFeatures);
+
+  int64_t candidates = 0, evaluated = 0, scenario_evals = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Evolution evo(pool, cfg);
+    evo.UseCandidateScorer(&scorer);
+    const core::EvolutionResult r = evo.Run(prog);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    candidates += r.stats.candidates;
+    evaluated += r.stats.evaluated;
+    scenario_evals += r.stats.scenario_evals;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(candidates);
+  const double resident =
+      static_cast<double>(scorer.panels().ResidentBytes());
+  state.counters["panel_resident_bytes"] = resident;
+  // The materialized footprint is the same number the materialized-mode run
+  // reports; computing it here lets the lazy rows carry the ratio directly.
+  {
+    scenario::PanelOverlay full(ScenarioBenchSuite(), market::DatasetConfig{},
+                                scenario::PanelOverlay::Mode::kMaterialized,
+                                &build_pool);
+    state.counters["mem_ratio_vs_materialized"] =
+        static_cast<double>(full.ResidentBytes()) / resident;
+  }
+  if (evaluated > 0) {
+    state.counters["scenario_evals_per_cand"] =
+        static_cast<double>(scenario_evals) / static_cast<double>(evaluated);
+  }
+  if (seconds > 0.0 && candidates > 0) {
+    const double cps = static_cast<double>(candidates) / seconds;
+    state.counters["cands_per_sec"] = cps;
+    const int mode_key = materialized ? 1 : 0;
+    if (!screen) {
+      ScreenOffCandsPerSec()[mode_key] = cps;
+    } else if (ScreenOffCandsPerSec().count(mode_key) > 0) {
+      state.counters["speedup_vs_no_screen"] =
+          cps / ScreenOffCandsPerSec()[mode_key];
+    }
+  }
+}
+BENCHMARK(BM_ScenarioFitness)
+    ->Args({0, 0})  // lazy overlays, screen off: the baseline registers first
+    ->Args({0, 1})  // lazy overlays, cheap-first screen
+    ->Args({1, 0})  // materialized panels, screen off
+    ->Args({1, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -7,7 +7,16 @@
 //
 // Run: ./build/mine_alpha_set [rounds] [seconds_per_search] [num_threads]
 //                             [intra_candidate_threads] [json_out] [fuse]
-//                             [pipeline_depth]
+//                             [pipeline_depth] [scenario_regimes]
+//                             [aggregation]
+//
+// scenario_regimes > 0 switches fitness to stress-in-the-loop mining: every
+// candidate is scored across the first N standard scenario regimes (served
+// as copy-on-write views of one shared base panel), with the cheap baseline
+// evaluation screening candidates before the regime fan-out. aggregation
+// picks how per-regime ICs combine: worst (default), mean, or cost
+// (turnover-penalized mean). scenario_regimes=0 (default) is exactly the
+// plain single-panel driver.
 //
 // num_threads evaluates candidates concurrently (inter-candidate);
 // intra_candidate_threads task-shards each candidate's lockstep execution
@@ -26,7 +35,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -35,6 +47,8 @@
 #include "core/mining.h"
 #include "eval/metrics.h"
 #include "market/dataset.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_fitness.h"
 #include "util/json.h"
 
 using namespace alphaevolve;
@@ -47,15 +61,40 @@ int main(int argc, char** argv) {
   const char* json_out = argc > 5 ? argv[5] : nullptr;
   const bool fuse = argc > 6 ? std::atoi(argv[6]) != 0 : true;
   const int pipeline_depth = std::max(0, argc > 7 ? std::atoi(argv[7]) : 1);
+  const int scenario_regimes = std::max(0, argc > 8 ? std::atoi(argv[8]) : 0);
+  const char* aggregation_name = argc > 9 ? argv[9] : "worst";
 
   market::MarketConfig mc = market::MarketConfig::BenchScale();
   mc.num_stocks = 80;
   mc.num_days = 420;
   mc.seed = 9;
-  market::Dataset dataset = market::Dataset::Simulate(mc, {});
   core::EvaluatorConfig eval_config;
   eval_config.executor.intra_candidate_threads = intra_threads;
   eval_config.executor.fuse_segments = fuse;
+
+  // Stress-in-the-loop mode: the scorer owns the base panel plus the
+  // copy-on-write regime views; the mining pool evaluates over its baseline
+  // panel so the leased evaluator *is* the cheap-first screen's evaluator.
+  std::unique_ptr<scenario::ScenarioFitness> scorer;
+  std::optional<market::Dataset> plain_panel;
+  if (scenario_regimes > 0) {
+    scenario::ScenarioSuite suite = scenario::ScenarioSuite::Standard(mc, 77);
+    suite.Truncate(scenario_regimes);
+    core::ScenarioFitnessOptions options;
+    if (std::strcmp(aggregation_name, "mean") == 0) {
+      options.aggregation = core::ScenarioAggregation::kMean;
+    } else if (std::strcmp(aggregation_name, "cost") == 0) {
+      options.aggregation = core::ScenarioAggregation::kCostAdjusted;
+    } else {
+      aggregation_name = "worst";
+    }
+    scorer = std::make_unique<scenario::ScenarioFitness>(
+        suite, market::DatasetConfig{}, eval_config, options);
+  } else {
+    plain_panel.emplace(market::Dataset::Simulate(mc, {}));
+  }
+  const market::Dataset& dataset =
+      scorer != nullptr ? scorer->baseline_panel() : *plain_panel;
   core::EvaluatorPool pool(dataset, eval_config, num_threads);
 
   core::EvolutionConfig config;
@@ -64,12 +103,24 @@ int main(int argc, char** argv) {
   config.num_threads = num_threads;  // batch size auto-derives (4x threads)
   config.pipeline_depth = pipeline_depth;
   core::WeaklyCorrelatedMiner miner(pool, config);
+  if (scorer != nullptr) {
+    miner.UseCandidateScorer(scorer.get());
+    scorer->set_fanout_pool(pool.thread_pool());
+  }
 
   std::printf(
       "mining %d rounds, %.1fs each, cutoff %.0f%%, %d thread(s), "
-      "%d task shard(s) per candidate, %s kernels, pipeline depth %d\n\n",
+      "%d task shard(s) per candidate, %s kernels, pipeline depth %d\n",
       rounds, seconds, config.correlation_cutoff * 100, num_threads,
       intra_threads, fuse ? "fused" : "interpreter", pipeline_depth);
+  if (scorer != nullptr) {
+    std::printf(
+        "scenario fitness: %d regime(s), %s aggregation, panels resident "
+        "%.1f MiB (copy-on-write)\n",
+        scorer->num_regimes(), aggregation_name,
+        static_cast<double>(scorer->panels().ResidentBytes()) / (1024 * 1024));
+  }
+  std::printf("\n");
   // Every round's per-search attribution, for the JSON artifact.
   std::vector<std::vector<core::SearchStats>> round_stats;
 
@@ -100,12 +151,18 @@ int main(int argc, char** argv) {
     for (const core::SearchStats& s : miner.last_round_stats()) {
       std::printf(
           "  seed %llu: %lld candidates = %lld evaluated + %lld cache hits "
-          "+ %lld pruned\n",
+          "+ %lld pruned",
           static_cast<unsigned long long>(s.seed),
           static_cast<long long>(s.candidates),
           static_cast<long long>(s.evaluated),
           static_cast<long long>(s.cache_hits),
           static_cast<long long>(s.pruned_redundant));
+      if (scorer != nullptr) {
+        std::printf(" | %lld screened out, %lld regime evals",
+                    static_cast<long long>(s.screened_out),
+                    static_cast<long long>(s.scenario_evals));
+      }
+      std::printf("\n");
     }
     if (r == nullptr) {
       std::printf("round %d: no uncorrelated alpha found (searched %lld)\n",
@@ -145,6 +202,12 @@ int main(int argc, char** argv) {
     w.Key("rounds").Value(rounds);
     w.Key("seconds_per_search").Value(seconds);
     w.Key("correlation_cutoff").Value(config.correlation_cutoff);
+    w.Key("scenario_regimes").Value(scenario_regimes);
+    if (scorer != nullptr) {
+      w.Key("aggregation").Value(aggregation_name);
+      w.Key("panel_resident_bytes")
+          .Value(static_cast<int64_t>(scorer->panels().ResidentBytes()));
+    }
     w.Key("round_stats").BeginArray();
     for (const std::vector<core::SearchStats>& round : round_stats) {
       w.BeginArray();
@@ -155,6 +218,8 @@ int main(int argc, char** argv) {
         w.Key("evaluated").Value(s.evaluated);
         w.Key("cache_hits").Value(s.cache_hits);
         w.Key("pruned_redundant").Value(s.pruned_redundant);
+        w.Key("screened_out").Value(s.screened_out);
+        w.Key("scenario_evals").Value(s.scenario_evals);
         w.EndObject();
       }
       w.EndArray();

@@ -8,23 +8,31 @@
 // dispersion).
 //
 // Run: ./build/stress_alpha_set [rounds] [seconds_per_search] [num_threads]
-//                               [num_scenarios] [json_out]
+//                               [num_scenarios] [json_out] [in_loop]
 //
 // num_threads drives both the miner's batch workers and the robustness
 // fan-out over (alpha, scenario) cells; omitted or <= 0 it falls back to
 // AE_BENCH_THREADS (default 1), so CI can steer the smoke run through the
 // same knob as the benches. num_scenarios truncates the standard suite
 // (CI smoke uses 2). json_out writes the reports as a diffable artifact.
+// in_loop=1 mines *with* scenario fitness (worst-case IC across
+// copy-on-write overlay panels of the same suite, cheap-first screened)
+// instead of plain baseline IC — stress moves from post-hoc filter to
+// in-loop objective, and the overlay panels' resident bytes are printed
+// against the materialized robustness panels for comparison.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <optional>
 
 #include "core/evaluator_pool.h"
 #include "core/generators.h"
 #include "core/mining.h"
 #include "scenario/robustness.h"
+#include "scenario/scenario_fitness.h"
 #include "util/json.h"
 
 using namespace alphaevolve;
@@ -123,6 +131,7 @@ int main(int argc, char** argv) {
   }
   const int num_scenarios = argc > 4 ? std::atoi(argv[4]) : 0;  // 0 = all
   const char* json_out = argc > 5 ? argv[5] : nullptr;
+  const bool in_loop = argc > 6 && std::atoi(argv[6]) != 0;
 
   // Base market the alphas are mined in; the suite derives regimes from it.
   market::MarketConfig mc = market::MarketConfig::BenchScale();
@@ -145,15 +154,41 @@ int main(int argc, char** argv) {
                 suite.spec(i).description.c_str());
   }
 
-  // Mining setup, as in mine_alpha_set (in-regime dataset only).
-  market::Dataset dataset = market::Dataset::Simulate(mc, {});
+  // Mining setup, as in mine_alpha_set. With in_loop, fitness is worst-case
+  // IC over the suite served as copy-on-write overlay views (one shared
+  // panel + per-regime label deltas) instead of baseline IC alone.
   core::EvaluatorConfig eval_config;
+  std::unique_ptr<scenario::ScenarioFitness> scorer;
+  std::optional<market::Dataset> plain_panel;
+  if (in_loop) {
+    scorer = std::make_unique<scenario::ScenarioFitness>(
+        suite, market::DatasetConfig{}, eval_config,
+        core::ScenarioFitnessOptions{});
+    size_t materialized_bytes = 0;
+    for (int i = 0; i < suite.num_scenarios(); ++i) {
+      materialized_bytes += robustness.dataset(i).StorageBytes();
+    }
+    std::printf(
+        "in-loop scenario fitness: %d regime(s) resident in %.1f MiB "
+        "(materialized robustness panels: %.1f MiB)\n",
+        scorer->num_regimes(),
+        static_cast<double>(scorer->panels().ResidentBytes()) / (1024 * 1024),
+        static_cast<double>(materialized_bytes) / (1024 * 1024));
+  } else {
+    plain_panel.emplace(market::Dataset::Simulate(mc, {}));
+  }
+  const market::Dataset& dataset =
+      scorer != nullptr ? scorer->baseline_panel() : *plain_panel;
   core::EvaluatorPool pool(dataset, eval_config, num_threads);
   core::EvolutionConfig config;
   config.max_candidates = 0;
   config.time_budget_seconds = seconds;
   config.num_threads = num_threads;
   core::WeaklyCorrelatedMiner miner(pool, config);
+  if (scorer != nullptr) {
+    miner.UseCandidateScorer(scorer.get());
+    scorer->set_fanout_pool(pool.thread_pool());
+  }
 
   // Stress each alpha the moment it enters A.
   miner.set_accept_hook([&](const core::AcceptedAlpha& alpha) {

@@ -20,6 +20,10 @@
 #                  this host can run) and relation-in-plan lowering
 #                  (BM_FusedRelationSegment: relation micro-phases inside
 #                  the arena schedule vs the per-relation barrier path)
+#   BENCH_7.json — stress-in-the-loop mining (BM_ScenarioFitness: cands/sec
+#                  mining against the full 7-regime suite, copy-on-write
+#                  overlay panels vs materialized ones — peak panel bytes +
+#                  memory ratio — and cheap-first screening on vs off)
 #
 # Every record gets a top-level "machine" object (core count, CPU model,
 # AE_NATIVE on/off, hostname, and — from bench_micro's own context — the
@@ -28,6 +32,7 @@
 #
 # Usage: scripts/record_bench.sh [build_dir] [sharded_out] [robustness_out]
 #                                [kernels_out] [pipeline_out] [dispatch_out]
+#                                [scenario_out]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -36,6 +41,7 @@ ROBUSTNESS_OUT="${3:-BENCH_3.json}"
 KERNELS_OUT="${4:-BENCH_4.json}"
 PIPELINE_OUT="${5:-BENCH_5.json}"
 DISPATCH_OUT="${6:-BENCH_6.json}"
+SCENARIO_OUT="${7:-BENCH_7.json}"
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
   echo "error: $BUILD_DIR/bench_micro not built (google-benchmark missing?)" >&2
@@ -110,3 +116,4 @@ record 'BM_FusedSegment|BM_BlockedMatMul|BM_ArenaBarrier|BM_PoolForBarrier' \
   "$KERNELS_OUT"
 record 'BM_EvolutionPipelined' "$PIPELINE_OUT"
 record 'BM_DispatchedMatMul|BM_FusedRelationSegment' "$DISPATCH_OUT"
+record 'BM_ScenarioFitness' "$SCENARIO_OUT"

@@ -42,6 +42,58 @@ struct EvaluatorConfig {
   eval::CostConfig costs;  ///< Disabled by default (gross == net).
 };
 
+/// How a multi-regime scorer folds per-regime metrics into one fitness.
+enum class ScenarioAggregation {
+  kWorstCase,     ///< min over regimes of ic_valid — durable alphas only.
+  kMean,          ///< mean over regimes of ic_valid.
+  kCostAdjusted,  ///< mean ic_valid − cost_penalty × mean valid turnover.
+};
+
+/// Knobs of the staged scenario fitness (EvolutionConfig::scenario_fitness).
+struct ScenarioFitnessOptions {
+  /// Evaluate the baseline regime first and reject candidates below
+  /// `screen_min_ic` before paying for the remaining regimes — the pruning
+  /// analog one level up. The threshold is static by design: screening
+  /// against a moving best-so-far would make fitness depend on evaluation
+  /// order and break pipeline-depth/thread-count determinism.
+  bool cheap_first_screen = true;
+  double screen_min_ic = 0.0;
+
+  ScenarioAggregation aggregation = ScenarioAggregation::kWorstCase;
+
+  /// Penalty per unit of mean valid turnover under kCostAdjusted.
+  double cost_penalty = 0.1;
+};
+
+/// What a CandidateScorer decided about one candidate.
+struct ScoreOutcome {
+  /// Baseline-regime metrics — what the zoo reports and the correlation
+  /// cutoff was applied to. `fitness` is the scorer's aggregate and is what
+  /// evolution selects on; it need not equal baseline.ic_valid.
+  AlphaMetrics baseline;
+  double fitness = kInvalidFitness;
+  bool cutoff_discarded = false;  ///< Failed the weak-correlation cutoff.
+  bool screened_out = false;      ///< Rejected by the cheap-first screen.
+  int regimes_evaluated = 0;      ///< Full evaluations actually paid for.
+};
+
+class Evaluator;
+
+/// Pluggable fitness: evolution hands the scorer a leased baseline evaluator
+/// plus the cutoff state and receives the fitness to select on. The default
+/// (no scorer installed) is plain baseline ic_valid. Implementations must be
+/// thread-safe — ScoreBatch calls Score from many workers at once — and
+/// deterministic in (program, seed) alone, never in call order.
+class CandidateScorer {
+ public:
+  virtual ~CandidateScorer() = default;
+  virtual ScoreOutcome Score(
+      Evaluator& baseline_evaluator, const AlphaProgram& program,
+      uint64_t seed,
+      const std::vector<std::vector<double>>& accepted_valid_returns,
+      double correlation_cutoff) = 0;
+};
+
 /// Scores alphas on a dataset: one-epoch training + validation IC as the
 /// evolutionary fitness, long-short portfolio returns and Sharpe for the
 /// weak-correlation cutoff and the paper's tables.

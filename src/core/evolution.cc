@@ -115,6 +115,17 @@ void Evolution::EvaluateCandidate(Evaluator& evaluator, Candidate& c) {
   // publish to the thread-safe cache. Every computed value is deterministic
   // in (program, seed), so scheduling cannot change any result.
   const AlphaProgram& program = config_.use_pruning ? c.pruned : c.program;
+  if (scorer_ != nullptr) {
+    const ScoreOutcome outcome =
+        scorer_->Score(evaluator, program, c.eval_seed,
+                       accepted_valid_returns_, config_.correlation_cutoff);
+    c.fitness = outcome.fitness;
+    c.cutoff_discarded = outcome.cutoff_discarded;
+    c.screened_out = outcome.screened_out;
+    c.regimes_evaluated = outcome.regimes_evaluated;
+    cache_->Insert(c.fingerprint, c.fitness);
+    return;
+  }
   const AlphaMetrics metrics =
       evaluator.Evaluate(program, c.eval_seed, /*include_test=*/false);
   double fitness = metrics.valid ? metrics.ic_valid : kInvalidFitness;
@@ -192,6 +203,8 @@ void Evolution::ApplyScored(const Candidate& candidate) {
     case Candidate::Outcome::kEvaluated:
       ++stats_.evaluated;
       if (candidate.cutoff_discarded) ++stats_.cutoff_discarded;
+      if (candidate.screened_out) ++stats_.screened_out;
+      stats_.scenario_evals += candidate.regimes_evaluated;
       break;
   }
 }

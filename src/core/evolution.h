@@ -83,6 +83,13 @@ struct EvolutionConfig {
   /// deterministic in the seed and independent of the thread count.
   int batch_size = 0;
 
+  /// Scenario-fitness knobs (screening threshold, aggregation). Evolution
+  /// itself does not read these — it only talks to the abstract
+  /// CandidateScorer installed via UseCandidateScorer — but they live here
+  /// so one EvolutionConfig describes the whole search; the glue that
+  /// builds a scenario::ScenarioFitness consumes them.
+  ScenarioFitnessOptions scenario_fitness;
+
   /// Evaluation batches the driver may keep in flight while it generates
   /// (mutates, prunes, fingerprints) the next one. 0 runs the synchronous
   /// lockstep driver: the driving thread blocks while each batch is scored.
@@ -106,6 +113,12 @@ struct EvolutionStats {
   int64_t pruned_redundant = 0;
   int64_t cache_hits = 0;
   int64_t cutoff_discarded = 0;
+  /// Scenario-fitness accounting (0 without a CandidateScorer): candidates
+  /// rejected by the cheap-first baseline screen, and total full regime
+  /// evaluations paid for (screened-out candidates contribute 1 — the
+  /// baseline — instead of the suite size; the gap is the screen's saving).
+  int64_t screened_out = 0;
+  int64_t scenario_evals = 0;
   double elapsed_seconds = 0.0;
 };
 
@@ -114,7 +127,10 @@ struct EvolutionResult {
   bool has_alpha = false;        ///< False if every candidate was invalid.
   AlphaProgram best;             ///< Best-fitness member of the final population.
   double best_fitness = kInvalidFitness;
-  AlphaMetrics best_metrics;     ///< Full metrics (incl. test) of `best`.
+  /// Full metrics (incl. test) of `best`, always on the *baseline* panel:
+  /// with a CandidateScorer installed, `best_fitness` is the scorer's
+  /// aggregate while these remain the reportable baseline numbers.
+  AlphaMetrics best_metrics;
   EvolutionStats stats;
   /// (candidates searched, best fitness so far) samples — Fig. 6 series.
   std::vector<std::pair<int64_t, double>> trajectory;
@@ -162,6 +178,15 @@ class Evolution {
   /// sharers run concurrently.
   void UseSharedCache(FingerprintCache* cache);
 
+  /// Installs a pluggable fitness (e.g. scenario::ScenarioFitness): every
+  /// unique candidate is scored through `scorer->Score` — which also owns
+  /// the correlation cutoff — instead of the plain baseline evaluation.
+  /// The scorer must be thread-safe and outlive Run; nullptr restores the
+  /// default. Cache semantics are unchanged (the cached value is whatever
+  /// fitness the scorer returned), and so are both drivers' determinism
+  /// guarantees, since Score is deterministic in (program, seed).
+  void UseCandidateScorer(CandidateScorer* scorer) { scorer_ = scorer; }
+
  private:
   /// One candidate moving through the scoring pipeline.
   struct Candidate {
@@ -179,6 +204,8 @@ class Evolution {
     int duplicate_of = -1;      ///< batch index of the first occurrence
     double fitness = kInvalidFitness;
     bool cutoff_discarded = false;
+    bool screened_out = false;   ///< scenario screen rejection (scorer only)
+    int regimes_evaluated = 0;   ///< full evaluations paid (scorer only)
 
     // Async pipeline state (untouched by the synchronous driver).
     /// Published by the evaluating worker once `fitness`/`cutoff_discarded`
@@ -242,6 +269,7 @@ class Evolution {
   std::vector<std::vector<double>> accepted_valid_returns_;
   FingerprintCache owned_cache_;
   FingerprintCache* cache_ = &owned_cache_;  ///< may point to a shared cache
+  CandidateScorer* scorer_ = nullptr;        ///< optional pluggable fitness
   EvolutionStats stats_;
   Rng rng_{0};
 };

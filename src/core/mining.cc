@@ -34,10 +34,12 @@ EvolutionResult WeaklyCorrelatedMiner::RunOne(
   if (pool_ != nullptr) {
     Evolution evolution(*pool_, config, std::move(accepted_returns));
     evolution.UseSharedCache(shared_cache);
+    evolution.UseCandidateScorer(scorer_);
     return evolution.Run(init);
   }
   Evolution evolution(*evaluator_, config, std::move(accepted_returns));
   evolution.UseSharedCache(shared_cache);
+  evolution.UseCandidateScorer(scorer_);
   return evolution.Run(init);
 }
 
@@ -83,6 +85,8 @@ std::vector<EvolutionResult> WeaklyCorrelatedMiner::RunSearches(
     attribution.cache_hits = results[s].stats.cache_hits;
     attribution.evaluated = results[s].stats.evaluated;
     attribution.pruned_redundant = results[s].stats.pruned_redundant;
+    attribution.screened_out = results[s].stats.screened_out;
+    attribution.scenario_evals = results[s].stats.scenario_evals;
     last_round_stats_.push_back(attribution);
   }
   return results;

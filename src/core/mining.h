@@ -32,6 +32,11 @@ struct SearchStats {
   int64_t cache_hits = 0;
   int64_t evaluated = 0;
   int64_t pruned_redundant = 0;
+  /// Scenario-fitness accounting (see EvolutionStats): candidates rejected
+  /// by the cheap-first screen, and full regime evaluations paid. Both 0
+  /// unless a CandidateScorer is installed.
+  int64_t screened_out = 0;
+  int64_t scenario_evals = 0;
 };
 
 /// Multi-round weakly-correlated alpha mining (paper §5.4.1): each round
@@ -102,6 +107,12 @@ class WeaklyCorrelatedMiner {
     accept_hook_ = std::move(hook);
   }
 
+  /// Installs a pluggable per-candidate fitness (scenario::ScenarioFitness)
+  /// on every search this miner runs — stress-in-the-loop, vs. the
+  /// accept-hook's stress-on-accept. The scorer must be thread-safe and
+  /// outlive the miner's runs; nullptr restores plain baseline fitness.
+  void UseCandidateScorer(CandidateScorer* scorer) { scorer_ = scorer; }
+
   /// Signed correlation (on validation portfolio returns) with the
   /// most-correlated member of A; NaN if A is empty — the per-alpha
   /// "Correlation with the best alphas" column of Tables 2/3.
@@ -119,6 +130,7 @@ class WeaklyCorrelatedMiner {
 
   Evaluator* evaluator_ = nullptr;  ///< serial mode
   EvaluatorPool* pool_ = nullptr;   ///< pool-backed mode
+  CandidateScorer* scorer_ = nullptr;  ///< optional scenario fitness
   EvolutionConfig base_config_;
   std::vector<AcceptedAlpha> accepted_;
   std::vector<SearchStats> last_round_stats_;

@@ -30,14 +30,31 @@ namespace alphaevolve::eval {
 /// — i.e. 2×bps per day at full rotation, exactly bps per side.
 struct CostConfig {
   /// Cost per transaction side (each buy and each sell) in basis points of
-  /// traded notional. 0 disables the model: net returns are then the gross
+  /// traded notional. 0 disables the term: net returns are then the gross
   /// returns, bit for bit.
   double per_side_bps = 0.0;
 
-  bool enabled() const { return per_side_bps > 0.0; }
+  /// Market-impact slippage per side, in basis points of traded notional.
+  /// Modeled linearly, so it simply adds to `per_side_bps` in the turnover
+  /// term: a config with {per_side_bps=a, slippage_bps=b} nets bit-identical
+  /// to one with {per_side_bps=a+b}.
+  double slippage_bps = 0.0;
+
+  /// Daily financing charge on the short book, in basis points of shorted
+  /// notional per calendar day. The book shorts 0.5 of gross capital at all
+  /// times, so this charges 0.5 * borrow_bps_per_day * 1e-4 every backtest
+  /// day (including the free-establishment first day — the book is short
+  /// from day one), independent of turnover.
+  double borrow_bps_per_day = 0.0;
+
+  bool enabled() const {
+    return per_side_bps > 0.0 || slippage_bps > 0.0 || borrow_bps_per_day > 0.0;
+  }
 };
 
-/// Net daily returns: gross[d] − 2 * turnover[d] * per_side_bps * 1e-4.
+/// Net daily returns:
+///   gross[d] − 2 * turnover[d] * (per_side_bps + slippage_bps) * 1e-4
+///            − 0.5 * borrow_bps_per_day * 1e-4.
 /// With a zero-cost config the gross series is returned unchanged.
 std::vector<double> ApplyCosts(const std::vector<double>& gross,
                                const std::vector<double>& turnover,

@@ -2,11 +2,21 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "market/simulator.h"
 #include "util/check.h"
 
 namespace alphaevolve::market {
+
+size_t PanelStorage::bytes() const {
+  size_t total = 0;
+  for (const auto& row : features) total += row.capacity() * sizeof(float);
+  for (const auto& row : labels) total += row.capacity() * sizeof(double);
+  for (const auto& row : closes) total += row.capacity() * sizeof(double);
+  total += source.capacity() * sizeof(int);
+  return total;
+}
 
 Dataset Dataset::Build(const std::vector<StockSeries>& panel,
                        const DatasetConfig& config) {
@@ -29,6 +39,8 @@ Dataset Dataset::Build(const std::vector<StockSeries>& panel,
   ds.window_ = config.window;
   ds.num_days_ = num_days;
 
+  auto storage = std::make_shared<PanelStorage>();
+
   std::unordered_map<int, int> sector_remap, industry_remap;
   for (const auto& s : panel) {
     if (static_cast<int>(s.bars.size()) < num_days) continue;  // filter 1
@@ -45,6 +57,8 @@ Dataset Dataset::Build(const std::vector<StockSeries>& panel,
     StockMeta meta = s.meta;
     meta.id = task;
     ds.meta_.push_back(meta);
+    ds.row_of_.push_back(task);
+    storage->source.push_back(s.meta.id);
 
     auto [sec_it, sec_new] =
         sector_remap.emplace(s.meta.sector,
@@ -60,7 +74,7 @@ Dataset Dataset::Build(const std::vector<StockSeries>& panel,
     ds.industry_of_.push_back(ind_it->second);
     ds.industry_tasks_[static_cast<size_t>(ind_it->second)].push_back(task);
 
-    ds.features_.push_back(BuildFeatureSeries(s));
+    storage->features.push_back(BuildFeatureSeries(s));
     std::vector<double> closes(static_cast<size_t>(num_days));
     std::vector<double> labels(static_cast<size_t>(num_days), 0.0);
     for (int t = 0; t < num_days; ++t) {
@@ -71,10 +85,11 @@ Dataset Dataset::Build(const std::vector<StockSeries>& panel,
           (closes[static_cast<size_t>(t + 1)] - closes[static_cast<size_t>(t)]) /
           closes[static_cast<size_t>(t)];
     }
-    ds.closes_.push_back(std::move(closes));
-    ds.labels_.push_back(std::move(labels));
+    storage->closes.push_back(std::move(closes));
+    storage->labels.push_back(std::move(labels));
   }
   AE_CHECK_MSG(!ds.meta_.empty(), "all stocks were filtered out");
+  ds.storage_ = std::move(storage);
 
   // Usable dates: full feature window available and a next-day label exists.
   ds.first_usable_date_ = kFeatureWarmup - 1 + config.window - 1;
@@ -100,11 +115,102 @@ Dataset Dataset::Build(const std::vector<StockSeries>& panel,
   return ds;
 }
 
-Dataset Dataset::Simulate(const MarketConfig& mc, const DatasetConfig& config) {
+Dataset Dataset::Simulate(const MarketConfig& mc, const DatasetConfig& config,
+                          SimTrace* trace) {
   Rng rng(mc.seed);
   const Universe universe = Universe::Generate(mc, rng);
-  const auto panel = MarketSimulator::Simulate(mc, universe, rng);
+  const auto panel = MarketSimulator::Simulate(mc, universe, rng, trace);
   return Build(panel, config);
+}
+
+Dataset Dataset::WithLabelOverlay(LabelOverlayFn fn,
+                                  std::shared_ptr<const void> ctx) const {
+  AE_CHECK_MSG(overlay_ == nullptr,
+               "stacking label overlays is not supported; derive every "
+               "scenario view from the base dataset");
+  Dataset view = *this;  // shares storage_; copies indices + metadata
+  view.overlay_ = fn;
+  view.overlay_ctx_ = std::move(ctx);
+  return view;
+}
+
+Dataset Dataset::Subset(const std::vector<int>& keep) const {
+  AE_CHECK_MSG(static_cast<int>(keep.size()) >= 2,
+               "a dataset needs >= 2 tasks for cross-sectional ops");
+  Dataset view = *this;
+  view.meta_.clear();
+  view.row_of_.clear();
+  view.sector_of_.clear();
+  view.industry_of_.clear();
+  view.sector_tasks_.clear();
+  view.industry_tasks_.clear();
+
+  // Dense sector/industry ids are rebuilt in first-appearance order over the
+  // kept tasks — the same convention Build uses over the raw panel.
+  std::unordered_map<int, int> sector_remap, industry_remap;
+  int prev = -1;
+  for (const int task : keep) {
+    AE_CHECK_MSG(task > prev && task < num_tasks(),
+                 "Subset expects strictly increasing in-range task indices");
+    prev = task;
+    const int new_task = static_cast<int>(view.meta_.size());
+    StockMeta meta = meta_[static_cast<size_t>(task)];
+    meta.id = new_task;
+    view.meta_.push_back(meta);
+    view.row_of_.push_back(row_of_[static_cast<size_t>(task)]);
+
+    auto [sec_it, sec_new] =
+        sector_remap.emplace(sector_of_[static_cast<size_t>(task)],
+                             static_cast<int>(view.sector_tasks_.size()));
+    if (sec_new) view.sector_tasks_.emplace_back();
+    view.sector_of_.push_back(sec_it->second);
+    view.sector_tasks_[static_cast<size_t>(sec_it->second)].push_back(new_task);
+
+    auto [ind_it, ind_new] =
+        industry_remap.emplace(industry_of_[static_cast<size_t>(task)],
+                               static_cast<int>(view.industry_tasks_.size()));
+    if (ind_new) view.industry_tasks_.emplace_back();
+    view.industry_of_.push_back(ind_it->second);
+    view.industry_tasks_[static_cast<size_t>(ind_it->second)].push_back(
+        new_task);
+  }
+  return view;
+}
+
+Dataset Dataset::Materialized() const {
+  auto storage = std::make_shared<PanelStorage>();
+  const int n = num_tasks();
+  storage->features.reserve(static_cast<size_t>(n));
+  storage->labels.reserve(static_cast<size_t>(n));
+  storage->closes.reserve(static_cast<size_t>(n));
+  storage->source.reserve(static_cast<size_t>(n));
+  for (int task = 0; task < n; ++task) {
+    const size_t row = static_cast<size_t>(row_of_[task]);
+    storage->features.push_back(storage_->features[row]);
+    storage->closes.push_back(storage_->closes[row]);
+    storage->source.push_back(storage_->source[row]);
+    // Fold the overlay into the stored labels at *every* date — the overlay
+    // is expected to be well-defined on the full calendar (it must return
+    // the base label wherever it has nothing to perturb), so lazy and
+    // materialized reads agree bitwise everywhere.
+    std::vector<double> labels = storage_->labels[row];
+    if (overlay_ != nullptr) {
+      const int src = storage_->source[row];
+      for (int t = 0; t < num_days_; ++t) {
+        labels[static_cast<size_t>(t)] = overlay_(
+            overlay_ctx_.get(), src, t, labels[static_cast<size_t>(t)]);
+      }
+    }
+    storage->labels.push_back(std::move(labels));
+  }
+
+  Dataset copy = *this;
+  copy.storage_ = std::move(storage);
+  copy.overlay_ = nullptr;
+  copy.overlay_ctx_.reset();
+  copy.row_of_.assign(static_cast<size_t>(n), 0);
+  for (int task = 0; task < n; ++task) copy.row_of_[task] = task;
+  return copy;
 }
 
 const std::vector<int>& Dataset::dates(Split split) const {
@@ -122,7 +228,8 @@ const std::vector<int>& Dataset::dates(Split split) const {
 
 void Dataset::FillInputMatrix(int task, int date, double* out) const {
   const int w = window_;
-  const float* base = features_[static_cast<size_t>(task)].data();
+  const float* base =
+      storage_->features[static_cast<size_t>(row_of_[task])].data();
   for (int j = 0; j < w; ++j) {
     const float* col =
         base + static_cast<size_t>(date - w + 1 + j) * kNumFeatures;

@@ -1,6 +1,8 @@
 #ifndef ALPHAEVOLVE_MARKET_DATASET_H_
 #define ALPHAEVOLVE_MARKET_DATASET_H_
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "market/features.h"
@@ -9,6 +11,8 @@
 #include "util/rng.h"
 
 namespace alphaevolve::market {
+
+struct SimTrace;
 
 /// Which sample split a date belongs to (chronological, as in the paper:
 /// 988 / 116 / 116 of 1220 days ≈ 81% / 9.5% / 9.5%).
@@ -22,6 +26,27 @@ struct DatasetConfig {
   double min_price = 1.0;      ///< Filter 2: drop stocks that ever trade below.
 };
 
+/// The immutable per-panel tape: feature/label/close series for every
+/// surviving stock, shared (via shared_ptr) between a base dataset and any
+/// number of copy-on-write views derived from it — scenario overlays add a
+/// label perturbation function and/or a task subset on top instead of
+/// duplicating these arrays.
+struct PanelStorage {
+  std::vector<std::vector<float>> features;  ///< [row][day*13 + f]
+  std::vector<std::vector<double>> labels;   ///< [row][day]
+  std::vector<std::vector<double>> closes;   ///< [row][day]
+  std::vector<int> source;  ///< [row] original (pre-filter) panel stock id
+
+  /// Resident bytes of every array above.
+  size_t bytes() const;
+};
+
+/// Label perturbation applied lazily on read. `source_id` is the original
+/// simulation stock id of the task (PanelStorage::source), so an overlay
+/// backed by a SimTrace can index the trace directly.
+using LabelOverlayFn = double (*)(const void* ctx, int source_id, int date,
+                                  double base_label);
+
 /// The multi-task regression dataset: one task per surviving stock, samples
 /// (X ∈ R^{13×13}, y = next-day return) aligned on a shared calendar.
 ///
@@ -29,21 +54,56 @@ struct DatasetConfig {
 /// the calendar end) and stocks reaching too-low prices are removed, so every
 /// remaining task is active on every date — which is what makes lockstep
 /// cross-task execution of RelationOps well-defined on each date.
+///
+/// A Dataset is a cheap *view* over an immutable shared PanelStorage: copying
+/// one copies indices and metadata, never the tape. `WithLabelOverlay` and
+/// `Subset` derive scenario views in O(tasks); `Materialized` folds a view
+/// back into standalone storage (the bitwise reference the lazy path is
+/// tested against). Only labels are ever perturbed — features and closes are
+/// always the shared base tape, which is what makes the sharing sound: a
+/// regime overlay changes *outcomes*, not the observable history the model
+/// conditions on.
 class Dataset {
  public:
   /// Builds the dataset from a simulated panel. `universe` provides
-  /// sector/industry ids; tasks are re-indexed densely after filtering.
+  /// sector/industry ids; tasks are re-indexed densely after filtering
+  /// (the original panel id of task k remains available as `source_id(k)`).
   static Dataset Build(const std::vector<StockSeries>& panel,
                        const DatasetConfig& config);
 
-  /// Convenience: generate a universe + panel from `mc` and build.
-  static Dataset Simulate(const MarketConfig& mc, const DatasetConfig& config);
+  /// Convenience: generate a universe + panel from `mc` and build. `trace`,
+  /// when non-null, captures the simulation draws (see SimTrace) for
+  /// copy-on-write scenario overlays.
+  static Dataset Simulate(const MarketConfig& mc, const DatasetConfig& config,
+                          SimTrace* trace = nullptr);
+
+  /// A view sharing this dataset's storage whose labels are
+  /// `fn(ctx, source_id(task), date, base_label)`. `ctx` is kept alive by the
+  /// returned view. The base dataset must not already carry an overlay.
+  Dataset WithLabelOverlay(LabelOverlayFn fn,
+                           std::shared_ptr<const void> ctx) const;
+
+  /// A view restricted to `keep` (strictly increasing task indices, >= 2 so
+  /// cross-sectional ops stay well-defined). Tasks are re-indexed densely,
+  /// sector/industry groups rebuilt in first-appearance order; storage and
+  /// any overlay are shared.
+  Dataset Subset(const std::vector<int>& keep) const;
+
+  /// Deep copy with its own storage: the overlay (if any) is folded into the
+  /// labels and rows are re-packed 0..num_tasks-1. Bitwise-identical reads to
+  /// the lazy view it came from — the parity reference for overlay tests.
+  Dataset Materialized() const;
 
   int num_tasks() const { return static_cast<int>(meta_.size()); }
   int num_features() const { return kNumFeatures; }
   int window() const { return window_; }
 
   const StockMeta& task_meta(int task) const { return meta_[task]; }
+
+  /// Original panel stock id of this task (stable across Subset views).
+  int source_id(int task) const {
+    return storage_->source[static_cast<size_t>(row_of_[task])];
+  }
 
   /// Dense sector/industry group ids (0-based, only groups with members).
   int sector_of(int task) const { return sector_of_[task]; }
@@ -63,9 +123,13 @@ class Dataset {
   /// order. Every listed date has a full feature window and a next-day label.
   const std::vector<int>& dates(Split split) const;
 
-  /// Label: the return of day date+1, (close[t+1] - close[t]) / close[t].
+  /// Label: the return of day date+1, (close[t+1] - close[t]) / close[t],
+  /// after the scenario overlay (if any).
   double Label(int task, int date) const {
-    return labels_[task][static_cast<size_t>(date)];
+    const size_t row = static_cast<size_t>(row_of_[task]);
+    const double base = storage_->labels[row][static_cast<size_t>(date)];
+    if (overlay_ == nullptr) return base;
+    return overlay_(overlay_ctx_.get(), storage_->source[row], date, base);
   }
 
   /// Copies the w most recent feature columns into `out` (row-major f×w,
@@ -74,17 +138,27 @@ class Dataset {
 
   /// Pointer to the 13 features of (task, date); valid for dates in splits.
   const float* FeatureRow(int task, int date) const {
-    return features_[task].data() +
+    return storage_->features[static_cast<size_t>(row_of_[task])].data() +
            static_cast<size_t>(date) * kNumFeatures;
   }
 
   /// Raw close price (for examples / diagnostics).
   double Close(int task, int date) const {
-    return closes_[task][static_cast<size_t>(date)];
+    return storage_->closes[static_cast<size_t>(row_of_[task])]
+                           [static_cast<size_t>(date)];
   }
 
   int num_days() const { return num_days_; }
   int first_usable_date() const { return first_usable_date_; }
+
+  /// The shared tape. Views derived from one base return the same pointer —
+  /// resident-memory accounting dedups on it.
+  const std::shared_ptr<const PanelStorage>& storage() const {
+    return storage_;
+  }
+
+  /// Resident bytes of the backing storage (shared across views).
+  size_t StorageBytes() const { return storage_->bytes(); }
 
  private:
   int window_ = 13;
@@ -95,9 +169,10 @@ class Dataset {
   std::vector<int> industry_of_;
   std::vector<std::vector<int>> sector_tasks_;
   std::vector<std::vector<int>> industry_tasks_;
-  std::vector<std::vector<float>> features_;   // [task][day*13 + f]
-  std::vector<std::vector<double>> labels_;    // [task][day]
-  std::vector<std::vector<double>> closes_;    // [task][day]
+  std::shared_ptr<const PanelStorage> storage_;
+  std::vector<int> row_of_;  ///< task -> row in *storage_
+  LabelOverlayFn overlay_ = nullptr;
+  std::shared_ptr<const void> overlay_ctx_;
   std::vector<int> train_dates_, valid_dates_, test_dates_;
 };
 

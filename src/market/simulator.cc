@@ -21,7 +21,11 @@ struct StockState {
   bool penny = false;
   int delist_day = -1;         // -1 = never delists
   std::vector<double> closes;  // close path (grows day by day)
-  double pending_signal = 0.0; // signal committed for the *next* day
+  // Signal committed for the *next* day, kept as its two components so trace
+  // capture can record them separately; their sum enters the return exactly
+  // where the combined term used to (same operands, same addition order).
+  double pending_mr = 0.0;
+  double pending_mom = 0.0;
 };
 
 /// Trailing simple moving average of the last `w` closes (or all, if fewer).
@@ -43,14 +47,48 @@ double TrailingReturn(const std::vector<double>& closes, int w) {
 
 }  // namespace
 
+size_t SimTrace::bytes() const {
+  auto fbytes = [](const std::vector<float>& v) {
+    return v.capacity() * sizeof(float);
+  };
+  auto ibytes = [](const std::vector<int>& v) {
+    return v.capacity() * sizeof(int);
+  };
+  return fbytes(beta_market) + fbytes(beta_sector) + fbytes(beta_industry) +
+         ibytes(sector) + ibytes(industry) + fbytes(f_market) +
+         fbytes(f_sector) + fbytes(f_industry) + fbytes(eps) + fbytes(mr) +
+         fbytes(mom);
+}
+
 std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
                                                    const Universe& universe,
-                                                   Rng& rng) {
+                                                   Rng& rng, SimTrace* trace) {
   AE_CHECK(universe.num_stocks() == config.num_stocks);
   AE_CHECK(config.num_days > kMa20Window + 2);
 
   const int num_stocks = config.num_stocks;
   const int num_days = config.num_days;
+
+  if (trace != nullptr) {
+    trace->num_stocks = num_stocks;
+    trace->num_days = num_days;
+    trace->num_sectors = universe.num_sectors();
+    trace->num_industries = universe.num_industries();
+    trace->beta_market.assign(static_cast<size_t>(num_stocks), 0.0f);
+    trace->beta_sector.assign(static_cast<size_t>(num_stocks), 0.0f);
+    trace->beta_industry.assign(static_cast<size_t>(num_stocks), 0.0f);
+    trace->sector.assign(static_cast<size_t>(num_stocks), 0);
+    trace->industry.assign(static_cast<size_t>(num_stocks), 0);
+    trace->f_market.assign(static_cast<size_t>(num_days), 0.0f);
+    trace->f_sector.assign(
+        static_cast<size_t>(universe.num_sectors()) * num_days, 0.0f);
+    trace->f_industry.assign(
+        static_cast<size_t>(universe.num_industries()) * num_days, 0.0f);
+    const size_t cells = static_cast<size_t>(num_stocks) * num_days;
+    trace->eps.assign(cells, 0.0f);
+    trace->mr.assign(cells, 0.0f);
+    trace->mom.assign(cells, 0.0f);
+  }
 
   std::vector<StockSeries> series(static_cast<size_t>(num_stocks));
   std::vector<StockState> state(static_cast<size_t>(num_stocks));
@@ -72,6 +110,16 @@ std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
     double p0 = rng.Uniform(config.initial_price_min, config.initial_price_max);
     if (st.penny) p0 = rng.Uniform(0.05, 0.8);
     st.closes.push_back(p0);
+    if (trace != nullptr) {
+      trace->beta_market[static_cast<size_t>(k)] =
+          static_cast<float>(st.beta_market);
+      trace->beta_sector[static_cast<size_t>(k)] =
+          static_cast<float>(st.beta_sector);
+      trace->beta_industry[static_cast<size_t>(k)] =
+          static_cast<float>(st.beta_industry);
+      trace->sector[static_cast<size_t>(k)] = universe.stock(k).sector;
+      trace->industry[static_cast<size_t>(k)] = universe.stock(k).industry;
+    }
   }
 
   std::vector<double> sector_mom(static_cast<size_t>(universe.num_sectors()));
@@ -124,6 +172,17 @@ std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
     std::vector<double> f_industry(
         static_cast<size_t>(universe.num_industries()));
     for (auto& f : f_industry) f = rng.Gaussian(0.0, config.industry_vol);
+    if (trace != nullptr) {
+      trace->f_market[static_cast<size_t>(t)] = static_cast<float>(f_market);
+      for (int s = 0; s < universe.num_sectors(); ++s) {
+        trace->f_sector[static_cast<size_t>(s) * num_days + t] =
+            static_cast<float>(f_sector[static_cast<size_t>(s)]);
+      }
+      for (int i = 0; i < universe.num_industries(); ++i) {
+        trace->f_industry[static_cast<size_t>(i) * num_days + t] =
+            static_cast<float>(f_industry[static_cast<size_t>(i)]);
+      }
+    }
 
     for (int k = 0; k < num_stocks; ++k) {
       StockState& st = state[static_cast<size_t>(k)];
@@ -142,11 +201,18 @@ std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
       const double eps = rng.Gaussian(0.0, std::sqrt(st.garch_h));
       st.last_eps = eps;
 
+      const double pending_signal = st.pending_mr + st.pending_mom;
       const double r =
           st.beta_market * (drift + f_market) +
           st.beta_sector * f_sector[static_cast<size_t>(meta.sector)] +
           st.beta_industry * f_industry[static_cast<size_t>(meta.industry)] +
-          st.pending_signal + vol_scale * eps;
+          pending_signal + vol_scale * eps;
+      if (trace != nullptr) {
+        const size_t cell = static_cast<size_t>(k) * num_days + t;
+        trace->eps[cell] = static_cast<float>(eps);
+        trace->mr[cell] = static_cast<float>(st.pending_mr);
+        trace->mom[cell] = static_cast<float>(st.pending_mom);
+      }
 
       const double prev_close = st.closes.back();
       const double close = prev_close * std::exp(r);
@@ -170,7 +236,8 @@ std::vector<StockSeries> MarketSimulator::Simulate(const MarketConfig& config,
           config.momentum_strength *
           (mom[static_cast<size_t>(k)] -
            sector_mom[static_cast<size_t>(meta.sector)]);
-      st.pending_signal = mr_term + mom_term;
+      st.pending_mr = mr_term;
+      st.pending_mom = mom_term;
     }
   }
   return series;

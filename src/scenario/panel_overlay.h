@@ -1,0 +1,70 @@
+#ifndef ALPHAEVOLVE_SCENARIO_PANEL_OVERLAY_H_
+#define ALPHAEVOLVE_SCENARIO_PANEL_OVERLAY_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "market/dataset.h"
+#include "market/simulator.h"
+#include "scenario/scenario.h"
+#include "util/threadpool.h"
+
+namespace alphaevolve::scenario {
+
+/// Copy-on-write scenario panels: one base panel, simulated once from the
+/// suite's base `MarketConfig` (with SimTrace capture), shared by every
+/// regime; each non-baseline regime is a Dataset *view* over that panel with
+/// a lazy label-perturbation overlay (ScenarioSpec::overlay) and/or a
+/// deterministic thin-universe mask. Suite memory drops from S materialized
+/// panels to ~1 panel + 1 trace + per-view indices.
+///
+/// `Mode::kMaterialized` builds the exact same views and then folds each one
+/// into standalone storage (`Dataset::Materialized`) — bit-identical reads,
+/// S× the memory. It exists as the parity reference and the bench baseline;
+/// production callers want `kLazy`.
+///
+/// The base panel keeps the base config's own seed (it is NOT reseeded with
+/// the suite key the resimulation path uses), so a single-regime overlay
+/// suite reproduces `Dataset::Simulate(base, dc)` exactly — and therefore
+/// today's mining driver. The suite seed only keys the thin-universe masks.
+class PanelOverlay {
+ public:
+  enum class Mode { kLazy, kMaterialized };
+
+  /// Simulates the base panel once and derives every regime view. The base
+  /// config must not itself use a late shift or relation break (the trace
+  /// records one unbroken draw history). `pool` parallelizes the
+  /// materialization fan-out in kMaterialized mode; results are
+  /// pool-independent.
+  PanelOverlay(const ScenarioSuite& suite, const market::DatasetConfig& dc,
+               Mode mode = Mode::kLazy, ThreadPool* pool = nullptr);
+
+  int num_panels() const { return static_cast<int>(panels_.size()); }
+
+  /// Regime `i`'s dataset view, in suite order (panel(0) = baseline).
+  const market::Dataset& panel(int i) const {
+    return panels_[static_cast<size_t>(i)];
+  }
+
+  const ScenarioSpec& spec(int i) const {
+    return specs_[static_cast<size_t>(i)];
+  }
+
+  Mode mode() const { return mode_; }
+
+  /// Resident bytes of the suite: distinct PanelStorage tapes across all
+  /// panels (shared storage counted once) plus the retained SimTrace in lazy
+  /// mode. This is the number BENCH_7 compares between modes.
+  size_t ResidentBytes() const;
+
+ private:
+  Mode mode_;
+  std::vector<ScenarioSpec> specs_;
+  std::shared_ptr<market::SimTrace> trace_;  ///< Retained in lazy mode only.
+  std::vector<market::Dataset> panels_;
+};
+
+}  // namespace alphaevolve::scenario
+
+#endif  // ALPHAEVOLVE_SCENARIO_PANEL_OVERLAY_H_

@@ -20,13 +20,75 @@ namespace alphaevolve::scenario {
 /// counts, and suite orderings — while different ids diverge.
 uint64_t ScenarioKey(uint64_t seed, std::string_view id);
 
+/// Copy-on-write regime description: how a regime perturbs the *base panel's
+/// outcomes* instead of re-simulating a world of its own. All scale fields
+/// default to exact identity (adding 0.0 / scaling by 1.0 leaves every label
+/// bit-identical), so a default-constructed perturbation is the baseline.
+///
+/// The label delta for stock k on trace day u (log-return scale; recorded
+/// draws from market::SimTrace) is
+///
+///   delta[k,u] = beta_m[k] * (market_drift + [u >= shift_day] * shift_drift)
+///              + (market_vol_scale   - 1) * beta_m[k] * f_market[u]
+///              + (sector_vol_scale   - 1) * beta_s[k] * f_sector[sec(k), u]
+///              + (industry_vol_scale - 1) * beta_i[k] * f_industry[ind(k), u]
+///              + (mr_scale  - 1) * mr[k, u]
+///              + (mom_scale - 1) * mom[k, u]
+///              + (idio_vol_scale * ([u >= shift_day] ? shift_vol_scale : 1)
+///                 - 1) * eps[k, u]
+///
+/// and the overlaid label is expm1(log1p(base_label) + delta). This is the
+/// same family of regimes the resimulation path expresses, applied as a
+/// perturbation of one shared world rather than a fresh world per regime —
+/// which is what makes results comparable across regimes candidate by
+/// candidate, and what cuts suite memory from S panels to one panel + one
+/// trace. Regimes with no overlay analog (relation breaks redraw betas
+/// mid-path) keep identity here and rely on the resimulation path.
+struct PanelPerturbation {
+  double market_drift = 0.0;       ///< Added to the market factor per day.
+  double market_vol_scale = 1.0;   ///< Scales the market factor draws.
+  double sector_vol_scale = 1.0;   ///< Scales the sector factor draws.
+  double industry_vol_scale = 1.0; ///< Scales the industry factor draws.
+  double idio_vol_scale = 1.0;     ///< Scales the realized GARCH shocks.
+  double mr_scale = 1.0;           ///< Scales the mean-reversion signal.
+  double mom_scale = 1.0;          ///< Scales the momentum signal.
+
+  // Late-calendar shift, as in MarketConfig: from day >=
+  // shift_fraction * num_days the market gains shift_drift per day and
+  // shocks are additionally scaled by shift_vol_scale. 0 disables.
+  double shift_fraction = 0.0;
+  double shift_drift = 0.0;
+  double shift_vol_scale = 1.0;
+
+  /// Thin-universe mask: keep ~this fraction of the base panel's tasks
+  /// (deterministic per-scenario hash selection, min 8 tasks). 1 keeps all.
+  double universe_fraction = 1.0;
+
+  bool PerturbsLabels() const {
+    return market_drift != 0.0 || market_vol_scale != 1.0 ||
+           sector_vol_scale != 1.0 || industry_vol_scale != 1.0 ||
+           idio_vol_scale != 1.0 || mr_scale != 1.0 || mom_scale != 1.0 ||
+           shift_fraction > 0.0;
+  }
+  bool MasksUniverse() const { return universe_fraction < 1.0; }
+  bool IsIdentity() const { return !PerturbsLabels() && !MasksUniverse(); }
+};
+
 /// One named market regime: a transform applied to the suite's base
 /// `MarketConfig`. Transforms should only edit config fields (never draw
 /// randomness); the suite supplies the deterministic per-scenario seed.
+///
+/// `overlay` is the copy-on-write analog of `apply` used by PanelOverlay:
+/// the same regime expressed as a perturbation of the shared base panel
+/// rather than a resimulation recipe. The two are intentionally *different
+/// worlds* (resimulation reseeds per scenario; the overlay perturbs one
+/// draw history) — each path is internally bit-deterministic, but they are
+/// not bit-comparable to each other.
 struct ScenarioSpec {
   std::string id;           ///< Stable identifier, e.g. "crash".
   std::string description;  ///< One line for reports.
   std::function<void(market::MarketConfig&)> apply;  ///< Regime transform.
+  PanelPerturbation overlay;  ///< Copy-on-write form of the same regime.
 };
 
 /// A named set of market regimes derived from one base configuration.

@@ -1,0 +1,121 @@
+#include "scenario/scenario_fitness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/check.h"
+#include "util/pipeline.h"
+
+namespace alphaevolve::scenario {
+
+ScenarioFitness::ScenarioFitness(const ScenarioSuite& suite,
+                                 const market::DatasetConfig& dc,
+                                 const core::EvaluatorConfig& eval_config,
+                                 core::ScenarioFitnessOptions options,
+                                 PanelOverlay::Mode mode,
+                                 ThreadPool* build_pool)
+    : options_(options), overlay_(suite, dc, mode, build_pool) {
+  // Regime evaluators shard nothing internally: one regime evaluation is
+  // the fan-out's unit of work, and leasing keeps concurrent Score calls
+  // on disjoint evaluators without any threads of these pools' own.
+  core::EvaluatorConfig regime_config = eval_config;
+  regime_config.executor.intra_candidate_threads = 1;
+  for (int i = 1; i < overlay_.num_panels(); ++i) {
+    regime_pools_.push_back(std::make_unique<core::EvaluatorPool>(
+        overlay_.panel(i), regime_config, /*num_threads=*/1));
+  }
+}
+
+core::ScoreOutcome ScenarioFitness::Score(
+    core::Evaluator& baseline_evaluator, const core::AlphaProgram& program,
+    uint64_t seed,
+    const std::vector<std::vector<double>>& accepted_valid_returns,
+    double correlation_cutoff) {
+  core::ScoreOutcome out;
+
+  // Stage 1 — the cheap baseline evaluation, exactly the plain driver's.
+  out.baseline =
+      baseline_evaluator.Evaluate(program, seed, /*include_test=*/false);
+  out.regimes_evaluated = 1;
+  if (!out.baseline.valid) return out;  // fitness stays kInvalidFitness
+
+  // Stage 2 — weak-correlation cutoff on the baseline validation returns.
+  for (const auto& accepted : accepted_valid_returns) {
+    const double corr = eval::PortfolioCorrelation(
+        out.baseline.valid_portfolio_returns, accepted);
+    if (std::abs(corr) > correlation_cutoff) {
+      out.cutoff_discarded = true;
+      return out;
+    }
+  }
+
+  const int regimes = num_regimes();
+
+  // Stage 3 — the static screen: don't pay for S-1 regime evaluations on a
+  // candidate whose baseline IC already disqualifies it. Never applied to a
+  // single-regime suite (stage 4 is free there), which keeps single-scenario
+  // mode bit-identical to the plain driver.
+  if (regimes > 1 && options_.cheap_first_screen &&
+      out.baseline.ic_valid < options_.screen_min_ic) {
+    out.screened_out = true;
+    return out;
+  }
+
+  // Stage 4 — fan out over the remaining regimes. Each task leases that
+  // regime's evaluator; with a fanout pool the tasks are work-stolen
+  // alongside other candidates' evaluations (WaitAll helps drain the shared
+  // queue, so nesting under a pool worker cannot deadlock).
+  std::vector<core::AlphaMetrics> metrics(static_cast<size_t>(regimes));
+  metrics[0] = out.baseline;
+  {
+    TaskGroup group(fanout_pool_);
+    for (int i = 1; i < regimes; ++i) {
+      group.Submit([this, i, &program, seed, &metrics] {
+        core::EvaluatorPool::Lease lease(
+            *regime_pools_[static_cast<size_t>(i - 1)]);
+        metrics[static_cast<size_t>(i)] = lease->Evaluate(
+            program, ScenarioKey(seed, overlay_.spec(i).id),
+            /*include_test=*/false);
+      });
+    }
+    group.WaitAll();
+  }
+  out.regimes_evaluated = regimes;
+
+  // Stage 5 — aggregate in suite order. A candidate that degenerates in any
+  // regime (non-finite predictions under stress) is not a durable alpha.
+  for (const auto& m : metrics) {
+    if (!m.valid) return out;  // fitness stays kInvalidFitness
+  }
+  switch (options_.aggregation) {
+    case core::ScenarioAggregation::kWorstCase: {
+      double worst = metrics[0].ic_valid;
+      for (const auto& m : metrics) worst = std::min(worst, m.ic_valid);
+      out.fitness = worst;
+      break;
+    }
+    case core::ScenarioAggregation::kMean: {
+      double sum = 0.0;
+      for (const auto& m : metrics) sum += m.ic_valid;
+      out.fitness = sum / static_cast<double>(regimes);
+      break;
+    }
+    case core::ScenarioAggregation::kCostAdjusted: {
+      // Mean IC less a turnover penalty — a high-churn alpha must clear its
+      // trading costs in every regime. Unclamped: can drop below
+      // kInvalidFitness for extreme churn, which only rejects harder.
+      double ic_sum = 0.0, turnover_sum = 0.0;
+      for (const auto& m : metrics) {
+        ic_sum += m.ic_valid;
+        turnover_sum += m.mean_turnover_valid;
+      }
+      out.fitness = (ic_sum - options_.cost_penalty * turnover_sum) /
+                    static_cast<double>(regimes);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace alphaevolve::scenario

@@ -106,6 +106,89 @@ TEST(CostsTest, ApplyCostsChargesProportionallyToTurnover) {
   EXPECT_NEAR(net[2], 0.01 - 2.0 * 10.0 * 1e-4, 1e-15);
 }
 
+TEST(CostsTest, SlippageFoldsIntoPerSideRateBitForBit) {
+  // Slippage is modeled as extra per-side cost on every traded dollar, so
+  // {per_side=a, slippage=b} must price exactly like {per_side=a+b}: the
+  // rate is computed as 2*(a+b)*1e-4 in both configs — same operands, same
+  // order, bitwise-equal nets.
+  const std::vector<double> gross{0.01, -0.004, 0.02, 0.0};
+  const std::vector<double> turnover{0.0, 0.3, 1.0, 0.7};
+  CostConfig split;
+  split.per_side_bps = 7.0;
+  split.slippage_bps = 5.0;
+  CostConfig merged;
+  merged.per_side_bps = 12.0;
+  const auto net_split = ApplyCosts(gross, turnover, split);
+  const auto net_merged = ApplyCosts(gross, turnover, merged);
+  ASSERT_EQ(net_split.size(), net_merged.size());
+  for (size_t d = 0; d < net_split.size(); ++d) {
+    EXPECT_EQ(net_split[d], net_merged[d]);  // bitwise
+  }
+  // And slippage alone charges turnover-proportionally.
+  CostConfig slip_only;
+  slip_only.slippage_bps = 5.0;
+  const auto net = ApplyCosts(gross, turnover, slip_only);
+  EXPECT_EQ(net[0], gross[0]);  // no churn, no slippage
+  EXPECT_NEAR(net[2], gross[2] - 2.0 * 5.0 * 1e-4, 1e-15);
+}
+
+TEST(CostsTest, BorrowChargesEveryDayIndependentOfTurnover) {
+  // Financing the short book accrues daily on the 0.5 short notional even
+  // when the book never trades — including establishment day, which is free
+  // of transaction costs but not of carry.
+  const std::vector<double> gross{0.01, 0.01, 0.01};
+  const std::vector<double> turnover{0.0, 0.0, 1.0};
+  CostConfig costs;
+  costs.borrow_bps_per_day = 30.0;
+  const auto net = ApplyCosts(gross, turnover, costs);
+  const double carry = 0.5 * 30.0 * 1e-4;
+  EXPECT_NEAR(gross[0] - net[0], carry, 1e-15);  // day 0 pays carry
+  EXPECT_NEAR(gross[1] - net[1], carry, 1e-15);  // zero turnover still pays
+  EXPECT_NEAR(gross[2] - net[2], carry, 1e-15);  // turnover priced separately
+  EXPECT_EQ(gross[2] - net[2], gross[1] - net[1]);  // carry is flat
+}
+
+TEST(CostsTest, EnabledCoversAllThreeTerms) {
+  EXPECT_FALSE(CostConfig{}.enabled());
+  CostConfig a;
+  a.per_side_bps = 1.0;
+  EXPECT_TRUE(a.enabled());
+  CostConfig b;
+  b.slippage_bps = 1.0;
+  EXPECT_TRUE(b.enabled());
+  CostConfig c;
+  c.borrow_bps_per_day = 1.0;
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(CostsTest, BorrowOnlyConfigDragsNetBelowGrossInBacktest) {
+  const auto ds = testutil::MakeDataset(8, 90);
+  const auto& dates = ds.dates(market::Split::kValid);
+  // Static book: zero turnover isolates the carry term end to end.
+  const auto preds =
+      MakePredictions(ds, dates, [](int k, size_t) { return k; });
+  PortfolioConfig cfg;
+  cfg.top_n = 2;
+  CostConfig costs;
+  costs.borrow_bps_per_day = 20.0;
+  const Backtest bt = RunBacktest(ds, dates, preds, cfg, costs);
+  const double carry = 0.5 * 20.0 * 1e-4;
+  for (size_t d = 0; d < bt.net.size(); ++d) {
+    EXPECT_EQ(bt.turnover[d], 0.0);
+    EXPECT_NEAR(bt.gross[d] - bt.net[d], carry, 1e-15);
+  }
+
+  // Through the evaluator: net sharpe strictly below gross even with an
+  // untraded book, because carry accrues regardless.
+  const auto prog = core::MakeExpertAlpha(ds.window());
+  core::EvaluatorConfig eval_cfg;
+  eval_cfg.costs.borrow_bps_per_day = 20.0;
+  core::Evaluator evaluator(ds, eval_cfg);
+  const core::AlphaMetrics m = evaluator.Evaluate(prog, 1);
+  ASSERT_TRUE(m.valid);
+  EXPECT_LT(m.sharpe_valid_net, m.sharpe_valid);
+}
+
 TEST(CostsTest, EvaluatorThreadsCostsThroughMetrics) {
   const auto ds = testutil::MakeDataset(8, 90);
   const auto prog = core::MakeExpertAlpha(ds.window());

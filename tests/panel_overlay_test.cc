@@ -1,0 +1,224 @@
+// Copy-on-write scenario panels: the lazy PanelOverlay views must read
+// bit-identically to their materialized counterparts for every standard
+// regime (the two paths run the same overlay function over the same base
+// tape), share one PanelStorage in lazy mode, reproduce the plain base
+// dataset as regime 0, and cut suite resident memory by >= 5x.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/dataset.h"
+#include "market/simulator.h"
+#include "scenario/panel_overlay.h"
+#include "scenario/scenario.h"
+#include "util/threadpool.h"
+
+namespace alphaevolve::scenario {
+namespace {
+
+market::MarketConfig SmallBase() {
+  market::MarketConfig mc = market::MarketConfig::BenchScale();
+  mc.num_stocks = 48;
+  mc.num_days = 220;
+  mc.seed = 3;
+  return mc;
+}
+
+/// Bitwise equality of two datasets through the public API (same helper as
+/// scenario_test.cc): structure, splits, labels, closes, feature rows.
+void ExpectDatasetsIdentical(const market::Dataset& a,
+                             const market::Dataset& b) {
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_days(), b.num_days());
+  ASSERT_EQ(a.first_usable_date(), b.first_usable_date());
+  for (market::Split split :
+       {market::Split::kTrain, market::Split::kValid, market::Split::kTest}) {
+    ASSERT_EQ(a.dates(split), b.dates(split));
+  }
+  for (int k = 0; k < a.num_tasks(); ++k) {
+    ASSERT_EQ(a.sector_of(k), b.sector_of(k));
+    ASSERT_EQ(a.industry_of(k), b.industry_of(k));
+    ASSERT_EQ(a.source_id(k), b.source_id(k));
+    for (market::Split split : {market::Split::kTrain, market::Split::kValid,
+                                market::Split::kTest}) {
+      for (int date : a.dates(split)) {
+        ASSERT_EQ(a.Label(k, date), b.Label(k, date));
+        ASSERT_EQ(a.Close(k, date), b.Close(k, date));
+        const float* fa = a.FeatureRow(k, date);
+        const float* fb = b.FeatureRow(k, date);
+        for (int f = 0; f < a.num_features(); ++f) ASSERT_EQ(fa[f], fb[f]);
+      }
+    }
+  }
+}
+
+TEST(PanelOverlayTest, BaselinePanelIsThePlainBaseDataset) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 7);
+  const market::DatasetConfig dc;
+  const PanelOverlay overlay(suite, dc);
+  ASSERT_EQ(overlay.num_panels(), 7);
+  // Regime 0 keeps the base config's own seed (no suite reseeding): it IS
+  // the dataset today's driver mines — single-regime mode depends on this.
+  ExpectDatasetsIdentical(overlay.panel(0),
+                          market::Dataset::Simulate(SmallBase(), dc));
+}
+
+TEST(PanelOverlayTest, LazyModeSharesOneStorageAcrossAllRegimes) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 7);
+  const PanelOverlay overlay(suite, market::DatasetConfig{});
+  for (int i = 1; i < overlay.num_panels(); ++i) {
+    EXPECT_EQ(overlay.panel(i).storage().get(), overlay.panel(0).storage().get())
+        << "regime " << overlay.spec(i).id << " copied the tape";
+  }
+  // And the feature rows of a perturbed regime are literally the base's
+  // memory, not a copy.
+  const market::Dataset& base = overlay.panel(0);
+  const market::Dataset& crash = overlay.panel(1);
+  EXPECT_EQ(crash.FeatureRow(0, base.first_usable_date()),
+            base.FeatureRow(0, base.first_usable_date()));
+}
+
+TEST(PanelOverlayTest, LazyAndMaterializedPanelsAreBitIdentical) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 7);
+  const market::DatasetConfig dc;
+  const PanelOverlay lazy(suite, dc, PanelOverlay::Mode::kLazy);
+  ThreadPool pool(3);
+  const PanelOverlay materialized(suite, dc, PanelOverlay::Mode::kMaterialized,
+                                  &pool);
+  ASSERT_EQ(lazy.num_panels(), materialized.num_panels());
+  for (int i = 0; i < lazy.num_panels(); ++i) {
+    SCOPED_TRACE(lazy.spec(i).id);
+    ExpectDatasetsIdentical(lazy.panel(i), materialized.panel(i));
+    // Materialized regimes each own their storage.
+    if (i > 0) {
+      EXPECT_NE(materialized.panel(i).storage().get(),
+                materialized.panel(0).storage().get());
+    }
+  }
+}
+
+TEST(PanelOverlayTest, OverlayRegimesActuallyPerturbLabels) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 7);
+  const market::DatasetConfig dc;
+  const PanelOverlay overlay(suite, dc);
+  const market::Dataset& base = overlay.panel(0);
+
+  auto mean_label = [](const market::Dataset& ds, market::Split split) {
+    double sum = 0.0;
+    int n = 0;
+    for (int date : ds.dates(split)) {
+      for (int k = 0; k < ds.num_tasks(); ++k) {
+        sum += ds.Label(k, date);
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+
+  // Every label-perturbing regime must differ from the base somewhere.
+  for (int i = 1; i < overlay.num_panels(); ++i) {
+    if (!overlay.spec(i).overlay.PerturbsLabels()) continue;
+    const market::Dataset& regime = overlay.panel(i);
+    bool any_diff = false;
+    for (int k = 0; k < base.num_tasks() && !any_diff; ++k) {
+      for (int date : base.dates(market::Split::kValid)) {
+        if (regime.Label(k, date) != base.Label(k, date)) {
+          any_diff = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(any_diff) << overlay.spec(i).id;
+  }
+
+  // Directional sanity, mirroring the resimulation-path assertions: the
+  // crash overlay depresses test-period returns, the bull overlay lifts
+  // full-calendar returns.
+  ASSERT_EQ(overlay.spec(1).id, "crash");
+  EXPECT_LT(mean_label(overlay.panel(1), market::Split::kTest),
+            mean_label(base, market::Split::kTest) - 0.002);
+  ASSERT_EQ(overlay.spec(2).id, "bull");
+  EXPECT_GT(mean_label(overlay.panel(2), market::Split::kTrain),
+            mean_label(base, market::Split::kTrain));
+  // The crash shift lands past the train split: training labels unchanged.
+  for (int k = 0; k < base.num_tasks(); ++k) {
+    for (int date : base.dates(market::Split::kTrain)) {
+      ASSERT_EQ(overlay.panel(1).Label(k, date), base.Label(k, date));
+    }
+  }
+}
+
+TEST(PanelOverlayTest, ThinUniverseMaskIsDeterministicAndConsistent) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 7);
+  const market::DatasetConfig dc;
+  const PanelOverlay a(suite, dc);
+  const PanelOverlay b(suite, dc);
+  const int thin = 6;
+  ASSERT_EQ(a.spec(thin).id, "thin_universe");
+  const market::Dataset& ta = a.panel(thin);
+  const market::Dataset& base = a.panel(0);
+
+  // ~quarter of the base universe, floored at 8 tasks.
+  EXPECT_GE(ta.num_tasks(), 8);
+  EXPECT_LT(ta.num_tasks(), base.num_tasks());
+  EXPECT_NEAR(ta.num_tasks(), base.num_tasks() / 4, 1);
+
+  // Rebuilding the suite selects the same tasks (mask is a pure function of
+  // (suite seed, id, source ids)).
+  ExpectDatasetsIdentical(ta, b.panel(thin));
+
+  // Dense relational groups are consistent after subsetting: every task is
+  // a member of the group it reports, ids are in range, meta is re-indexed.
+  for (int k = 0; k < ta.num_tasks(); ++k) {
+    EXPECT_EQ(ta.task_meta(k).id, k);
+    const int sec = ta.sector_of(k);
+    ASSERT_GE(sec, 0);
+    ASSERT_LT(sec, ta.num_sector_groups());
+    const auto& members = ta.sector_tasks(sec);
+    EXPECT_NE(std::find(members.begin(), members.end(), k), members.end());
+    const int ind = ta.industry_of(k);
+    ASSERT_GE(ind, 0);
+    ASSERT_LT(ind, ta.num_industry_groups());
+    const auto& imembers = ta.industry_tasks(ind);
+    EXPECT_NE(std::find(imembers.begin(), imembers.end(), k), imembers.end());
+  }
+  // A different suite seed keys a different mask.
+  const PanelOverlay other(ScenarioSuite::Standard(SmallBase(), 8), dc);
+  std::vector<int> sources_a, sources_other;
+  for (int k = 0; k < ta.num_tasks(); ++k) {
+    sources_a.push_back(ta.source_id(k));
+  }
+  const market::Dataset& to = other.panel(thin);
+  for (int k = 0; k < to.num_tasks(); ++k) {
+    sources_other.push_back(to.source_id(k));
+  }
+  EXPECT_NE(sources_a, sources_other);
+}
+
+TEST(PanelOverlayTest, LazySuiteIsAtLeastFiveTimesSmaller) {
+  const ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 7);
+  const market::DatasetConfig dc;
+  const PanelOverlay lazy(suite, dc, PanelOverlay::Mode::kLazy);
+  const PanelOverlay materialized(suite, dc, PanelOverlay::Mode::kMaterialized);
+  EXPECT_GE(materialized.ResidentBytes(), 5 * lazy.ResidentBytes())
+      << "lazy: " << lazy.ResidentBytes()
+      << " materialized: " << materialized.ResidentBytes();
+}
+
+TEST(PanelOverlayTest, SimTraceCaptureDoesNotPerturbTheSimulation) {
+  const market::MarketConfig mc = SmallBase();
+  const market::DatasetConfig dc;
+  market::SimTrace trace;
+  const market::Dataset with_trace = market::Dataset::Simulate(mc, dc, &trace);
+  const market::Dataset without = market::Dataset::Simulate(mc, dc);
+  ExpectDatasetsIdentical(with_trace, without);
+  EXPECT_EQ(trace.num_stocks, mc.num_stocks);
+  EXPECT_EQ(trace.num_days, mc.num_days);
+  EXPECT_GT(trace.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace alphaevolve::scenario

@@ -1,0 +1,279 @@
+// Stress-in-the-loop mining contract: with a ScenarioFitness installed,
+// Evolution::Run must stay bit-identical across thread counts, pipeline
+// depths, and lazy/materialized panel modes; a single-regime suite must
+// reproduce the plain driver exactly (results, stats, trajectory); the
+// cheap-first screen must only change *cost* accounting at screen-off
+// thresholds; and the screened_out / scenario_evals counters must reconcile
+// through EvolutionStats and SearchStats.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator_pool.h"
+#include "core/evolution.h"
+#include "core/generators.h"
+#include "core/mining.h"
+#include "market/dataset.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_fitness.h"
+
+namespace alphaevolve::scenario {
+namespace {
+
+using core::EvolutionConfig;
+using core::EvolutionResult;
+using core::ScenarioAggregation;
+
+market::MarketConfig SmallBase() {
+  market::MarketConfig mc = market::MarketConfig::BenchScale();
+  mc.num_stocks = 24;
+  mc.num_days = 200;
+  mc.seed = 13;
+  return mc;
+}
+
+EvolutionConfig BaseConfig() {
+  EvolutionConfig cfg;
+  cfg.max_candidates = 220;
+  cfg.population_size = 50;
+  cfg.seed = 7;
+  cfg.trajectory_stride = 25;
+  cfg.batch_size = 8;  // fixed: results must not depend on the thread count
+  return cfg;
+}
+
+void ExpectIdentical(const EvolutionResult& a, const EvolutionResult& b,
+                     bool compare_scenario_stats = true) {
+  ASSERT_EQ(a.has_alpha, b.has_alpha);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_fitness, b.best_fitness);  // bitwise
+  EXPECT_EQ(a.stats.candidates, b.stats.candidates);
+  EXPECT_EQ(a.stats.evaluated, b.stats.evaluated);
+  EXPECT_EQ(a.stats.pruned_redundant, b.stats.pruned_redundant);
+  EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits);
+  EXPECT_EQ(a.stats.cutoff_discarded, b.stats.cutoff_discarded);
+  if (compare_scenario_stats) {
+    EXPECT_EQ(a.stats.screened_out, b.stats.screened_out);
+    EXPECT_EQ(a.stats.scenario_evals, b.stats.scenario_evals);
+  }
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(a.trajectory[i].first, b.trajectory[i].first);
+    EXPECT_EQ(a.trajectory[i].second, b.trajectory[i].second);
+  }
+}
+
+/// One scenario-fitness mining run: pool over the scorer's baseline panel,
+/// scorer fanning out over the pool's threads.
+EvolutionResult RunWithScorer(ScenarioFitness& scorer, EvolutionConfig cfg,
+                              int num_threads) {
+  core::EvaluatorPool pool(scorer.baseline_panel(), core::EvaluatorConfig{},
+                           num_threads);
+  core::Evolution evolution(pool, cfg);
+  evolution.UseCandidateScorer(&scorer);
+  scorer.set_fanout_pool(pool.thread_pool());
+  const EvolutionResult r =
+      evolution.Run(core::MakeExpertAlpha(market::kNumFeatures));
+  scorer.set_fanout_pool(nullptr);
+  return r;
+}
+
+TEST(ScenarioFitnessTest, SingleRegimeReproducesThePlainDriverExactly) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 31);
+  suite.Truncate(1);  // baseline only
+  ScenarioFitness scorer(suite, market::DatasetConfig{},
+                         core::EvaluatorConfig{},
+                         core::ScenarioFitnessOptions{});
+
+  const EvolutionConfig cfg = BaseConfig();
+  // Plain driver over the plain base dataset.
+  const market::Dataset base =
+      market::Dataset::Simulate(SmallBase(), market::DatasetConfig{});
+  core::EvaluatorPool plain_pool(base, core::EvaluatorConfig{}, 4);
+  core::Evolution plain(plain_pool, cfg);
+  const EvolutionResult expected =
+      plain.Run(core::MakeExpertAlpha(market::kNumFeatures));
+
+  const EvolutionResult got = RunWithScorer(scorer, cfg, 4);
+  ExpectIdentical(expected, got, /*compare_scenario_stats=*/false);
+  // The only divergence allowed: scenario accounting is live in the scorer
+  // path (one regime paid per evaluation) and zero in the plain path.
+  EXPECT_EQ(expected.stats.scenario_evals, 0);
+  EXPECT_EQ(got.stats.scenario_evals, got.stats.evaluated);
+  EXPECT_EQ(got.stats.screened_out, 0);
+}
+
+TEST(ScenarioFitnessTest, BitIdenticalAcrossThreadCountsAndPipelineDepths) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 31);
+  suite.Truncate(3);  // baseline, crash, bull
+  ScenarioFitness scorer(suite, market::DatasetConfig{},
+                         core::EvaluatorConfig{},
+                         core::ScenarioFitnessOptions{});
+
+  EvolutionConfig cfg = BaseConfig();
+  cfg.pipeline_depth = 0;
+  const EvolutionResult reference = RunWithScorer(scorer, cfg, 1);
+  EXPECT_GT(reference.stats.scenario_evals, reference.stats.evaluated);
+
+  for (const int threads : {1, 4, 8}) {
+    for (const int depth : {0, 1, 2}) {
+      cfg.pipeline_depth = depth;
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " depth=" + std::to_string(depth));
+      ExpectIdentical(reference, RunWithScorer(scorer, cfg, threads));
+    }
+  }
+}
+
+TEST(ScenarioFitnessTest, LazyAndMaterializedPanelsMineIdentically) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 31);
+  suite.Truncate(3);
+  ScenarioFitness lazy(suite, market::DatasetConfig{}, core::EvaluatorConfig{},
+                       core::ScenarioFitnessOptions{},
+                       PanelOverlay::Mode::kLazy);
+  ScenarioFitness materialized(suite, market::DatasetConfig{},
+                               core::EvaluatorConfig{},
+                               core::ScenarioFitnessOptions{},
+                               PanelOverlay::Mode::kMaterialized);
+  const EvolutionConfig cfg = BaseConfig();
+  ExpectIdentical(RunWithScorer(lazy, cfg, 4),
+                  RunWithScorer(materialized, cfg, 4));
+}
+
+TEST(ScenarioFitnessTest, ScreeningAccountingAndScreenOffEquivalence) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 31);
+  suite.Truncate(3);
+  const EvolutionConfig cfg = BaseConfig();
+
+  // An unreachable threshold screens every cutoff-surviving valid candidate:
+  // nobody pays for regimes 1..S-1.
+  core::ScenarioFitnessOptions harsh;
+  harsh.screen_min_ic = 0.9;
+  ScenarioFitness harsh_scorer(suite, market::DatasetConfig{},
+                               core::EvaluatorConfig{}, harsh);
+  const EvolutionResult screened = RunWithScorer(harsh_scorer, cfg, 4);
+  EXPECT_GT(screened.stats.screened_out, 0);
+  EXPECT_EQ(screened.stats.scenario_evals, screened.stats.evaluated);
+
+  // screen_min_ic = -1 can never fire (valid ICs live in [-1, 1]): results
+  // and accounting must be bit-identical to disabling the screen outright.
+  core::ScenarioFitnessOptions never;
+  never.screen_min_ic = -1.0;
+  ScenarioFitness never_scorer(suite, market::DatasetConfig{},
+                               core::EvaluatorConfig{}, never);
+  core::ScenarioFitnessOptions off;
+  off.cheap_first_screen = false;
+  ScenarioFitness off_scorer(suite, market::DatasetConfig{},
+                             core::EvaluatorConfig{}, off);
+  const EvolutionResult never_r = RunWithScorer(never_scorer, cfg, 4);
+  const EvolutionResult off_r = RunWithScorer(off_scorer, cfg, 4);
+  ExpectIdentical(never_r, off_r);
+  EXPECT_EQ(never_r.stats.screened_out, 0);
+
+  // Each evaluation pays between 1 (invalid/cutoff baseline) and S regimes.
+  EXPECT_GE(never_r.stats.scenario_evals, never_r.stats.evaluated);
+  EXPECT_LE(never_r.stats.scenario_evals, 3 * never_r.stats.evaluated);
+}
+
+TEST(ScenarioFitnessTest, SearchStatsCarryScenarioAccounting) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 31);
+  suite.Truncate(2);
+  ScenarioFitness scorer(suite, market::DatasetConfig{},
+                         core::EvaluatorConfig{},
+                         core::ScenarioFitnessOptions{});
+
+  EvolutionConfig cfg = BaseConfig();
+  cfg.max_candidates = 120;
+  core::EvaluatorPool pool(scorer.baseline_panel(), core::EvaluatorConfig{}, 4);
+  core::WeaklyCorrelatedMiner miner(pool, cfg);
+  miner.UseCandidateScorer(&scorer);
+  scorer.set_fanout_pool(pool.thread_pool());
+
+  const core::AlphaProgram init = core::MakeExpertAlpha(market::kNumFeatures);
+  const auto results = miner.RunSearches({{init, 11}, {init, 12}});
+  const auto& stats = miner.last_round_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  for (size_t s = 0; s < stats.size(); ++s) {
+    EXPECT_EQ(stats[s].screened_out, results[s].stats.screened_out);
+    EXPECT_EQ(stats[s].scenario_evals, results[s].stats.scenario_evals);
+    EXPECT_GE(stats[s].scenario_evals, stats[s].evaluated);
+  }
+  scorer.set_fanout_pool(nullptr);
+}
+
+TEST(ScenarioFitnessTest, AggregationModesMatchHandComputedValues) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 31);
+  suite.Truncate(3);
+  const market::DatasetConfig dc;
+  const core::AlphaProgram program =
+      core::MakeExpertAlpha(market::kNumFeatures);
+  const uint64_t seed = 99;
+
+  // Reference: evaluate each regime directly on the overlay views.
+  core::ScenarioFitnessOptions opts;
+  opts.cheap_first_screen = false;
+  ScenarioFitness worst_scorer(suite, dc, core::EvaluatorConfig{}, opts);
+  const PanelOverlay& panels = worst_scorer.panels();
+  std::vector<core::AlphaMetrics> per_regime;
+  for (int i = 0; i < panels.num_panels(); ++i) {
+    core::Evaluator evaluator(panels.panel(i), core::EvaluatorConfig{});
+    const uint64_t s =
+        i == 0 ? seed : ScenarioKey(seed, panels.spec(i).id);
+    per_regime.push_back(
+        evaluator.Evaluate(program, s, /*include_test=*/false));
+    ASSERT_TRUE(per_regime.back().valid);
+  }
+
+  core::Evaluator baseline(worst_scorer.baseline_panel(),
+                           core::EvaluatorConfig{});
+  const auto outcome_worst =
+      worst_scorer.Score(baseline, program, seed, {}, 0.15);
+  EXPECT_EQ(outcome_worst.regimes_evaluated, 3);
+  EXPECT_FALSE(outcome_worst.screened_out);
+  double worst = per_regime[0].ic_valid;
+  for (const auto& m : per_regime) worst = std::min(worst, m.ic_valid);
+  EXPECT_EQ(outcome_worst.fitness, worst);
+  EXPECT_EQ(outcome_worst.baseline.ic_valid, per_regime[0].ic_valid);
+
+  opts.aggregation = ScenarioAggregation::kMean;
+  ScenarioFitness mean_scorer(suite, dc, core::EvaluatorConfig{}, opts);
+  const auto outcome_mean = mean_scorer.Score(baseline, program, seed, {}, 0.15);
+  double ic_sum = 0.0;
+  for (const auto& m : per_regime) ic_sum += m.ic_valid;
+  EXPECT_EQ(outcome_mean.fitness, ic_sum / 3.0);
+
+  opts.aggregation = ScenarioAggregation::kCostAdjusted;
+  opts.cost_penalty = 0.2;
+  ScenarioFitness cost_scorer(suite, dc, core::EvaluatorConfig{}, opts);
+  const auto outcome_cost = cost_scorer.Score(baseline, program, seed, {}, 0.15);
+  double turnover_sum = 0.0;
+  for (const auto& m : per_regime) turnover_sum += m.mean_turnover_valid;
+  EXPECT_EQ(outcome_cost.fitness, (ic_sum - 0.2 * turnover_sum) / 3.0);
+  EXPECT_LE(outcome_cost.fitness, outcome_mean.fitness);
+}
+
+TEST(ScenarioFitnessTest, CutoffAppliesOnBaselineReturnsBeforeFanOut) {
+  ScenarioSuite suite = ScenarioSuite::Standard(SmallBase(), 31);
+  suite.Truncate(3);
+  ScenarioFitness scorer(suite, market::DatasetConfig{},
+                         core::EvaluatorConfig{},
+                         core::ScenarioFitnessOptions{});
+  core::Evaluator baseline(scorer.baseline_panel(), core::EvaluatorConfig{});
+  const core::AlphaProgram program =
+      core::MakeExpertAlpha(market::kNumFeatures);
+
+  // Perfectly self-correlated accepted set: the candidate's own returns.
+  const auto self = baseline.Evaluate(program, 5, /*include_test=*/false);
+  ASSERT_TRUE(self.valid);
+  const auto outcome =
+      scorer.Score(baseline, program, 5, {self.valid_portfolio_returns}, 0.15);
+  EXPECT_TRUE(outcome.cutoff_discarded);
+  EXPECT_EQ(outcome.fitness, core::kInvalidFitness);
+  EXPECT_EQ(outcome.regimes_evaluated, 1);  // fan-out never paid
+}
+
+}  // namespace
+}  // namespace alphaevolve::scenario
