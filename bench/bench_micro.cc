@@ -23,6 +23,8 @@
 #include "core/pruning.h"
 #include "ga/expr.h"
 #include "market/dataset.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "scenario/robustness.h"
 #include "scenario/scenario_fitness.h"
 #include "util/rng.h"
@@ -687,6 +689,72 @@ BENCHMARK(BM_EvolutionPipelined)
     ->Arg(0)  // synchronous baseline registers first
     ->Arg(1)
     ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Telemetry overhead on the mining hot path (BENCH_8.json) -------------
+// The same pipelined mining run (depth 1, fixed seed + batch width) with the
+// obs layer in its three states: 0 = disabled (every instrumented site is a
+// relaxed load + branch), 1 = counters/histograms on, 2 = full span tracing
+// on top. Results are bit-identical across modes (telemetry_parity_test), so
+// `overhead_pct` — throughput lost vs the disabled run at the same thread
+// count, registered first — is the whole price of observation. Acceptance:
+// full tracing stays under 5%. Thread count from AE_BENCH_THREADS (def. 4).
+
+std::map<int, double>& TelemetryOffCandsPerSec() {
+  static auto* baselines = new std::map<int, double>();
+  return *baselines;
+}
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  int threads = 4;
+  if (const char* env = std::getenv("AE_BENCH_THREADS")) {
+    threads = std::max(1, std::atoi(env));
+  }
+  const auto& ds = BenchDataset(64);
+  core::EvaluatorPool pool(ds, core::EvaluatorConfig{}, threads);
+  core::EvolutionConfig cfg = MicroEvolutionConfig();
+  cfg.pipeline_depth = 1;
+  cfg.telemetry.enabled = mode >= 1;
+  cfg.telemetry.tracing = mode >= 2;
+  obs::Configure(cfg.telemetry);  // Run() only applies enabled configs
+  const auto prog = core::MakeExpertAlpha(ds.window());
+  int64_t candidates = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    // Keep snapshot/export cost out of the loop but the recording cost in;
+    // clearing also stops the trace rings from carrying events across runs.
+    obs::MetricsRegistry::Default().Reset();
+    obs::TraceRecorder::Default().Clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Evolution evo(pool, cfg);
+    const core::EvolutionResult r = evo.Run(prog);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    candidates += r.stats.candidates;
+    benchmark::DoNotOptimize(r);
+  }
+  obs::Configure(obs::TelemetryConfig{});  // leave the process telemetry-off
+  obs::MetricsRegistry::Default().Reset();
+  obs::TraceRecorder::Default().Clear();
+  state.SetItemsProcessed(candidates);
+  if (seconds > 0.0 && candidates > 0) {
+    const double cps = static_cast<double>(candidates) / seconds;
+    state.counters["cands_per_sec"] = cps;
+    if (mode == 0) {
+      TelemetryOffCandsPerSec()[threads] = cps;
+    } else if (TelemetryOffCandsPerSec().count(threads) > 0) {
+      state.counters["overhead_pct"] =
+          100.0 * (1.0 - cps / TelemetryOffCandsPerSec()[threads]);
+    }
+  }
+}
+BENCHMARK(BM_TelemetryOverhead)
+    ->Arg(0)  // disabled baseline registers first
+    ->Arg(1)  // counters + histograms
+    ->Arg(2)  // + span tracing
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

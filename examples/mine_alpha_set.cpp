@@ -30,6 +30,9 @@
 // generates the next (default 1; 0 = the synchronous driver; any depth is
 // bit-identical for candidate-bounded searches — time-budgeted ones, like
 // this example's, simply cover more candidates per wall-second).
+//
+// Telemetry (position-independent, see telemetry_flags.h): --telemetry,
+// --metrics-out=PATH, --trace-out=PATH, --progress-every=SECS.
 
 #include <algorithm>
 #include <cmath>
@@ -49,11 +52,15 @@
 #include "market/dataset.h"
 #include "scenario/scenario.h"
 #include "scenario/scenario_fitness.h"
+#include "telemetry_flags.h"
 #include "util/json.h"
 
 using namespace alphaevolve;
 
 int main(int argc, char** argv) {
+  const examples::TelemetryFlags telemetry =
+      examples::StripTelemetryFlags(argc, argv);
+  auto progress = examples::StartTelemetry(telemetry);
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
   const int num_threads = std::max(1, argc > 3 ? std::atoi(argv[3]) : 1);
@@ -141,11 +148,12 @@ int main(int argc, char** argv) {
         r = &candidate;
       }
     }
-    int64_t searched = 0, discarded = 0;
+    core::EvolutionStats round_totals;
     for (const core::EvolutionResult& candidate : results) {
-      searched += candidate.stats.candidates;
-      discarded += candidate.stats.cutoff_discarded;
+      round_totals.Merge(candidate.stats);
     }
+    const int64_t searched = round_totals.candidates;
+    const int64_t discarded = round_totals.cutoff_discarded;
     // Per-search attribution against the round's shared fingerprint cache.
     round_stats.push_back(miner.last_round_stats());
     for (const core::SearchStats& s : miner.last_round_stats()) {
@@ -247,5 +255,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %s\n", json_out);
   }
+  if (!examples::FinishTelemetry(telemetry, std::move(progress))) return 1;
   return 0;
 }

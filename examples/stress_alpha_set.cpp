@@ -10,6 +10,9 @@
 // Run: ./build/stress_alpha_set [rounds] [seconds_per_search] [num_threads]
 //                               [num_scenarios] [json_out] [in_loop]
 //
+// Telemetry (position-independent, see telemetry_flags.h): --telemetry,
+// --metrics-out=PATH, --trace-out=PATH, --progress-every=SECS.
+//
 // num_threads drives both the miner's batch workers and the robustness
 // fan-out over (alpha, scenario) cells; omitted or <= 0 it falls back to
 // AE_BENCH_THREADS (default 1), so CI can steer the smoke run through the
@@ -33,6 +36,7 @@
 #include "core/mining.h"
 #include "scenario/robustness.h"
 #include "scenario/scenario_fitness.h"
+#include "telemetry_flags.h"
 #include "util/json.h"
 
 using namespace alphaevolve;
@@ -122,6 +126,9 @@ bool WriteJson(const std::string& path, const scenario::ScenarioSuite& suite,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const examples::TelemetryFlags telemetry =
+      examples::StripTelemetryFlags(argc, argv);
+  auto progress = examples::StartTelemetry(telemetry);
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 2;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
   int num_threads = argc > 3 ? std::atoi(argv[3]) : 0;
@@ -226,5 +233,6 @@ int main(int argc, char** argv) {
   if (json_out != nullptr && !WriteJson(json_out, suite, rc, reports)) {
     return 1;
   }
+  if (!examples::FinishTelemetry(telemetry, std::move(progress))) return 1;
   return 0;
 }

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Records the repo's perf trajectory for this PR into BENCH_<N>.json at the
-# repo root:
+# repo root. The manifest below is the single source of truth: one
+# "<default_out> <benchmark_filter>" line per record — adding a bench to the
+# trajectory is a one-line append.
+#
 #   BENCH_2.json — executor-sharding throughput (BM_ExecutorSharded at
 #                  1/2/4/8 intra-candidate threads, >=1000-task universe)
 #   BENCH_3.json — scenario-suite robustness fan-out (BM_RobustnessSuite at
@@ -24,24 +27,35 @@
 #                  mining against the full 7-regime suite, copy-on-write
 #                  overlay panels vs materialized ones — peak panel bytes +
 #                  memory ratio — and cheap-first screening on vs off)
+#   BENCH_8.json — telemetry overhead (BM_TelemetryOverhead: mining cands/sec
+#                  with the obs layer disabled / counters-only / full span
+#                  tracing; overhead_pct vs the disabled run — acceptance is
+#                  full tracing under 5%)
 #
 # Every record gets a top-level "machine" object (core count, CPU model,
 # AE_NATIVE on/off, hostname, and — from bench_micro's own context — the
 # detected and active kernel variant) so numbers from the 1-core dev box and
 # the multicore CI runners are comparable across the PR trajectory.
 #
-# Usage: scripts/record_bench.sh [build_dir] [sharded_out] [robustness_out]
-#                                [kernels_out] [pipeline_out] [dispatch_out]
-#                                [scenario_out]
+# Usage: scripts/record_bench.sh [build_dir] [out1 out2 ...]
+# Positional outputs override the manifest's default filenames in order; "-"
+# skips that record (so one bench can be re-recorded without re-running all).
+# AE_BENCH_REPETITIONS (default 1) sets --benchmark_repetitions per record.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-SHARDED_OUT="${2:-BENCH_2.json}"
-ROBUSTNESS_OUT="${3:-BENCH_3.json}"
-KERNELS_OUT="${4:-BENCH_4.json}"
-PIPELINE_OUT="${5:-BENCH_5.json}"
-DISPATCH_OUT="${6:-BENCH_6.json}"
-SCENARIO_OUT="${7:-BENCH_7.json}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+# The bench manifest: "<default_out> <benchmark_filter>".
+BENCHES=(
+  "BENCH_2.json BM_ExecutorSharded"
+  "BENCH_3.json BM_RobustnessSuite"
+  "BENCH_4.json BM_FusedSegment|BM_BlockedMatMul|BM_ArenaBarrier|BM_PoolForBarrier"
+  "BENCH_5.json BM_EvolutionPipelined"
+  "BENCH_6.json BM_DispatchedMatMul|BM_FusedRelationSegment"
+  "BENCH_7.json BM_ScenarioFitness"
+  "BENCH_8.json BM_TelemetryOverhead"
+)
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then
   echo "error: $BUILD_DIR/bench_micro not built (google-benchmark missing?)" >&2
@@ -105,15 +119,21 @@ record() {
     --benchmark_filter="$filter" \
     --benchmark_out="$out" \
     --benchmark_out_format=json \
-    --benchmark_repetitions=1
+    --benchmark_repetitions="${AE_BENCH_REPETITIONS:-1}"
   annotate "$out"
   echo "wrote $out"
 }
 
-record 'BM_ExecutorSharded' "$SHARDED_OUT"
-record 'BM_RobustnessSuite' "$ROBUSTNESS_OUT"
-record 'BM_FusedSegment|BM_BlockedMatMul|BM_ArenaBarrier|BM_PoolForBarrier' \
-  "$KERNELS_OUT"
-record 'BM_EvolutionPipelined' "$PIPELINE_OUT"
-record 'BM_DispatchedMatMul|BM_FusedRelationSegment' "$DISPATCH_OUT"
-record 'BM_ScenarioFitness' "$SCENARIO_OUT"
+args=("$@")
+i=0
+for entry in "${BENCHES[@]}"; do
+  out="${entry%% *}"
+  filter="${entry#* }"
+  if (( i < $# )); then
+    out="${args[i]}"
+  fi
+  if [[ "$out" != "-" ]]; then
+    record "$filter" "$out"
+  fi
+  i=$((i + 1))
+done

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace alphaevolve::core {
@@ -22,10 +23,18 @@ EvaluatorPool::EvaluatorPool(const market::Dataset& dataset,
 }
 
 Evaluator* EvaluatorPool::Acquire() {
+  // Lease-wait: lock contention plus (first time per worker) the evaluator
+  // construction itself. A fat p99 here means workers fight over leases.
+  AE_SPAN("pool.lease_acquire");
   std::lock_guard<std::mutex> lock(mu_);
   if (free_.empty()) {
     // The lease shares the pool's own (re-entrant) threads for its
     // intra-candidate sharding instead of spawning per-evaluator pools.
+    if (obs::Enabled()) {
+      static obs::Counter& created =
+          obs::MetricsRegistry::Default().GetCounter("pool.evaluators_created");
+      created.Add();
+    }
     evaluators_.emplace_back(dataset_, config_, thread_pool_.get());
     return &evaluators_.back();
   }
@@ -42,6 +51,7 @@ void EvaluatorPool::Release(Evaluator* evaluator) {
 void EvaluatorPool::ForEach(int n,
                             const std::function<void(Evaluator&, int)>& fn) {
   if (n <= 0) return;
+  AE_SPAN("pool.foreach");
   const int workers = thread_pool_ == nullptr ? 1 : std::min(num_threads_, n);
   if (workers <= 1) {
     Lease lease(*this);

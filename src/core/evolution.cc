@@ -7,6 +7,7 @@
 
 #include "core/pruning.h"
 #include "eval/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace alphaevolve::core {
@@ -17,6 +18,37 @@ using Clock = std::chrono::steady_clock;
 double Seconds(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
+
+/// Semantic search counters. Incremented only from ApplyScored, which runs
+/// on the driving thread in strict batch/commit order — so with telemetry
+/// enabled their values are invariant in thread count and pipeline depth,
+/// matching EvolutionStats exactly. Leaky refs: registry metrics are
+/// process-lived.
+struct SearchCounters {
+  obs::Counter& candidates;
+  obs::Counter& evaluated;
+  obs::Counter& cache_hits;
+  obs::Counter& pruned_redundant;
+  obs::Counter& cutoff_discarded;
+  obs::Counter& screened_out;
+  obs::Counter& scenario_evals;
+  obs::Gauge& inflight_batches;
+
+  static SearchCounters& Get() {
+    static SearchCounters* c = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      return new SearchCounters{reg.GetCounter("evolution.candidates"),
+                                reg.GetCounter("evolution.evaluated"),
+                                reg.GetCounter("evolution.cache_hits"),
+                                reg.GetCounter("evolution.pruned_redundant"),
+                                reg.GetCounter("evolution.cutoff_discarded"),
+                                reg.GetCounter("evolution.screened_out"),
+                                reg.GetCounter("evolution.scenario_evals"),
+                                reg.GetGauge("evolution.inflight_batches")};
+    }();
+    return *c;
+  }
+};
 
 }  // namespace
 
@@ -81,6 +113,7 @@ void Evolution::ForEachEvaluator(
 }
 
 void Evolution::FingerprintBatch(std::vector<Candidate>& batch) {
+  AE_SPAN("evolution.fingerprint");
   // Structural mode prunes and hashes on the driving thread (microseconds
   // per candidate, §4.2); functional mode needs a probe evaluation per
   // candidate, so that runs on the pool.
@@ -110,6 +143,7 @@ void Evolution::FingerprintBatch(std::vector<Candidate>& batch) {
 }
 
 void Evolution::EvaluateCandidate(Evaluator& evaluator, Candidate& c) {
+  AE_SPAN("evolution.evaluate");
   // Full scoring plus the weak-correlation cutoff (§5.4.1; the accepted set
   // is immutable for the whole run, so workers read it lock-free), then
   // publish to the thread-safe cache. Every computed value is deterministic
@@ -174,12 +208,16 @@ void Evolution::ScoreBatch(std::vector<Candidate>& batch) {
   }
 
   // Stage 3 — evaluate the unique remainder in parallel.
-  ForEachEvaluator(
-      static_cast<int>(to_evaluate.size()), [&](Evaluator& evaluator, int k) {
-        EvaluateCandidate(
-            evaluator,
-            batch[static_cast<size_t>(to_evaluate[static_cast<size_t>(k)])]);
-      });
+  {
+    AE_SPAN("evolution.evaluate_batch");
+    ForEachEvaluator(
+        static_cast<int>(to_evaluate.size()),
+        [&](Evaluator& evaluator, int k) {
+          EvaluateCandidate(
+              evaluator,
+              batch[static_cast<size_t>(to_evaluate[static_cast<size_t>(k)])]);
+        });
+  }
 
   // Stage 4 — resolve duplicates against their first occurrence's final
   // (post-cutoff) fitness, as a serial cache hit would have returned.
@@ -206,6 +244,27 @@ void Evolution::ApplyScored(const Candidate& candidate) {
       if (candidate.screened_out) ++stats_.screened_out;
       stats_.scenario_evals += candidate.regimes_evaluated;
       break;
+  }
+  if (obs::Enabled()) {
+    SearchCounters& c = SearchCounters::Get();
+    c.candidates.Add();
+    switch (candidate.outcome) {
+      case Candidate::Outcome::kPrunedRedundant:
+        c.pruned_redundant.Add();
+        break;
+      case Candidate::Outcome::kCacheHit:
+      case Candidate::Outcome::kDuplicate:
+        c.cache_hits.Add();
+        break;
+      case Candidate::Outcome::kEvaluated:
+        c.evaluated.Add();
+        if (candidate.cutoff_discarded) c.cutoff_discarded.Add();
+        if (candidate.screened_out) c.screened_out.Add();
+        if (candidate.regimes_evaluated > 0) {
+          c.scenario_evals.Add(candidate.regimes_evaluated);
+        }
+        break;
+    }
   }
 }
 
@@ -247,6 +306,12 @@ void Evolution::FinishResult(EvolutionResult& result,
 }
 
 EvolutionResult Evolution::Run(const AlphaProgram& init) {
+  // Only a config that turns something ON is applied globally: the common
+  // default-off config must not silence telemetry an embedding binary (or
+  // test) configured for the whole process.
+  if (config_.telemetry.enabled || config_.telemetry.tracing) {
+    obs::Configure(config_.telemetry);
+  }
   rng_ = Rng(config_.seed);
   // A shared cache belongs to all its sharers (it outlives any one run and
   // must keep earlier sharers' entries); only the per-run cache is reset.
@@ -298,12 +363,18 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
         std::min<int64_t>(batch_cap, remaining_candidates()),
         config_.population_size - static_cast<int>(population.size())));
     std::vector<Candidate> batch(static_cast<size_t>(b));
-    for (Candidate& c : batch) c.program = mutator_.Mutate(init, rng_);
+    {
+      AE_SPAN("evolution.generate");
+      for (Candidate& c : batch) c.program = mutator_.Mutate(init, rng_);
+    }
     ScoreBatch(batch);
-    for (Candidate& c : batch) {
-      ApplyScored(c);
-      record_trajectory(c.fitness);
-      population.push_back({std::move(c.program), c.fitness});
+    {
+      AE_SPAN("evolution.commit");
+      for (Candidate& c : batch) {
+        ApplyScored(c);
+        record_trajectory(c.fitness);
+        population.push_back({std::move(c.program), c.fitness});
+      }
     }
   }
 
@@ -314,25 +385,32 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
     const int b = static_cast<int>(
         std::min<int64_t>(batch_cap, remaining_candidates()));
     std::vector<Candidate> batch(static_cast<size_t>(b));
-    for (Candidate& c : batch) {
-      int best_idx = rng_.UniformInt(static_cast<int>(population.size()));
-      for (int t = 1; t < config_.tournament_size; ++t) {
-        const int idx = rng_.UniformInt(static_cast<int>(population.size()));
-        if (population[static_cast<size_t>(idx)].fitness >
-            population[static_cast<size_t>(best_idx)].fitness) {
-          best_idx = idx;
+    {
+      AE_SPAN("evolution.generate");
+      for (Candidate& c : batch) {
+        int best_idx = rng_.UniformInt(static_cast<int>(population.size()));
+        for (int t = 1; t < config_.tournament_size; ++t) {
+          const int idx =
+              rng_.UniformInt(static_cast<int>(population.size()));
+          if (population[static_cast<size_t>(idx)].fitness >
+              population[static_cast<size_t>(best_idx)].fitness) {
+            best_idx = idx;
+          }
         }
+        c.program =
+            mutator_.Mutate(population[static_cast<size_t>(best_idx)].program,
+                            rng_);
       }
-      c.program =
-          mutator_.Mutate(population[static_cast<size_t>(best_idx)].program,
-                          rng_);
     }
     ScoreBatch(batch);
-    for (Candidate& c : batch) {
-      ApplyScored(c);
-      record_trajectory(c.fitness);
-      population.push_back({std::move(c.program), c.fitness});
-      population.pop_front();
+    {
+      AE_SPAN("evolution.commit");
+      for (Candidate& c : batch) {
+        ApplyScored(c);
+        record_trajectory(c.fitness);
+        population.push_back({std::move(c.program), c.fitness});
+        population.pop_front();
+      }
     }
   }
 
@@ -390,6 +468,7 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
     if (m.pending != nullptr) {
       Candidate* c = m.pending;
       if (!c->ready.load(std::memory_order_acquire)) {
+        AE_SPAN("evolution.tournament_wait");
         group.WaitUntil(
             [c] { return c->ready.load(std::memory_order_acquire); });
       }
@@ -421,6 +500,7 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
   };
 
   auto generate_batch = [&]() {
+    AE_SPAN("evolution.generate");
     // Same clamping as RunSync: land exactly on max_candidates, and during
     // P0 never overshoot the population size.
     int64_t b64 = batch_cap;
@@ -550,14 +630,20 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
         },
         group);
     in_flight.push_back(std::move(batch));
+    SearchCounters::Get().inflight_batches.Set(
+        static_cast<int64_t>(in_flight.size()));
   };
 
   auto commit_oldest = [&]() {
     PipelineBatch& batch = *in_flight.front();
     const int n_eval = static_cast<int>(batch.to_evaluate.size());
-    group.WaitUntil([&batch, n_eval] {
-      return batch.items_done.load(std::memory_order_acquire) >= n_eval;
-    });
+    {
+      AE_SPAN("evolution.commit_wait");
+      group.WaitUntil([&batch, n_eval] {
+        return batch.items_done.load(std::memory_order_acquire) >= n_eval;
+      });
+    }
+    AE_SPAN("evolution.commit");
 
     // Stage 4 + commit, in batch order (frontier-hit fitnesses were filled
     // when their source batch committed, before this one).
@@ -593,6 +679,8 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
       }
     }
     in_flight.pop_front();
+    SearchCounters::Get().inflight_batches.Set(
+        static_cast<int64_t>(in_flight.size()));
   };
 
   // The driver loop: fill the pipeline up to `depth` in-flight batches,

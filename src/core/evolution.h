@@ -13,6 +13,7 @@
 #include "core/fingerprint_cache.h"
 #include "core/mutator.h"
 #include "core/program.h"
+#include "obs/telemetry.h"
 #include "util/pipeline.h"
 
 namespace alphaevolve::core {
@@ -103,6 +104,13 @@ struct EvolutionConfig {
   /// generation cost per batch approaches evaluation cost (functional
   /// fingerprints, large programs).
   int pipeline_depth = 1;
+
+  /// Observability knobs. Run() applies them process-globally via
+  /// obs::Configure only when something is switched on, so the default-off
+  /// config never clobbers a state installed by the embedding binary.
+  /// Default off ⇒ every instrument site is a relaxed load + branch and
+  /// results are bit-identical to an uninstrumented build.
+  obs::TelemetryConfig telemetry;
 };
 
 /// Search counters. `candidates` = pruned_redundant + cache_hits + evaluated;
@@ -120,6 +128,22 @@ struct EvolutionStats {
   int64_t screened_out = 0;
   int64_t scenario_evals = 0;
   double elapsed_seconds = 0.0;
+
+  /// Accumulates `other` into this record: counters add, elapsed takes the
+  /// max (parallel searches overlap in wall-clock). The single merge point
+  /// for every consumer (miner, examples, SearchStats::FromEvolution).
+  void Merge(const EvolutionStats& other) {
+    candidates += other.candidates;
+    evaluated += other.evaluated;
+    pruned_redundant += other.pruned_redundant;
+    cache_hits += other.cache_hits;
+    cutoff_discarded += other.cutoff_discarded;
+    screened_out += other.screened_out;
+    scenario_evals += other.scenario_evals;
+    if (other.elapsed_seconds > elapsed_seconds) {
+      elapsed_seconds = other.elapsed_seconds;
+    }
+  }
 };
 
 /// Search output.

@@ -7,6 +7,8 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/telemetry.h"
+
 namespace alphaevolve::core {
 
 /// Fingerprint → fitness memo (paper §4.2). With pruning enabled the key is
@@ -25,12 +27,29 @@ class FingerprintCache {
   FingerprintCache& operator=(const FingerprintCache&) = delete;
 
   /// Returns the cached fitness for `fingerprint`, if present.
+  ///
+  /// Telemetry note: the obs cache.hits/cache.misses counters tally Lookup
+  /// calls, which the pipelined driver partially bypasses (frontier hits
+  /// never reach the cache) — so unlike EvolutionStats::cache_hits they are
+  /// observational, not invariant across pipeline depths.
   std::optional<double> Lookup(uint64_t fingerprint) const {
     const Shard& shard = shards_[ShardIndex(fingerprint)];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(fingerprint);
-    if (it == shard.map.end()) return std::nullopt;
-    return it->second;
+    bool hit;
+    std::optional<double> result;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.map.find(fingerprint);
+      hit = it != shard.map.end();
+      if (hit) result = it->second;
+    }
+    if (obs::Enabled()) {
+      static obs::Counter& hits =
+          obs::MetricsRegistry::Default().GetCounter("cache.hits");
+      static obs::Counter& misses =
+          obs::MetricsRegistry::Default().GetCounter("cache.misses");
+      (hit ? hits : misses).Add();
+    }
+    return result;
   }
 
   /// Records the fitness for `fingerprint` (overwrites).

@@ -79,15 +79,8 @@ std::vector<EvolutionResult> WeaklyCorrelatedMiner::RunSearches(
   last_round_stats_.clear();
   last_round_stats_.reserve(specs.size());
   for (size_t s = 0; s < specs.size(); ++s) {
-    SearchStats attribution;
-    attribution.seed = specs[s].seed;
-    attribution.candidates = results[s].stats.candidates;
-    attribution.cache_hits = results[s].stats.cache_hits;
-    attribution.evaluated = results[s].stats.evaluated;
-    attribution.pruned_redundant = results[s].stats.pruned_redundant;
-    attribution.screened_out = results[s].stats.screened_out;
-    attribution.scenario_evals = results[s].stats.scenario_evals;
-    last_round_stats_.push_back(attribution);
+    last_round_stats_.push_back(
+        SearchStats::FromEvolution(specs[s].seed, results[s].stats));
   }
   return results;
 }

@@ -37,6 +37,32 @@ struct SearchStats {
   /// unless a CandidateScorer is installed.
   int64_t screened_out = 0;
   int64_t scenario_evals = 0;
+
+  /// The one conversion point from a search's EvolutionStats — keeps the
+  /// duplicated field lists (here, miner attribution, example totals) from
+  /// drifting as counters are added.
+  static SearchStats FromEvolution(uint64_t seed, const EvolutionStats& s) {
+    SearchStats out;
+    out.seed = seed;
+    out.candidates = s.candidates;
+    out.cache_hits = s.cache_hits;
+    out.evaluated = s.evaluated;
+    out.pruned_redundant = s.pruned_redundant;
+    out.screened_out = s.screened_out;
+    out.scenario_evals = s.scenario_evals;
+    return out;
+  }
+
+  /// Accumulates `other`'s counters (seed is left alone — a merged record
+  /// spans seeds).
+  void Merge(const SearchStats& other) {
+    candidates += other.candidates;
+    cache_hits += other.cache_hits;
+    evaluated += other.evaluated;
+    pruned_redundant += other.pruned_redundant;
+    screened_out += other.screened_out;
+    scenario_evals += other.scenario_evals;
+  }
 };
 
 /// Multi-round weakly-correlated alpha mining (paper §5.4.1): each round

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace alphaevolve::obs {
+
+int64_t NowNs() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              epoch)
+      .count();
+}
+
+TraceRecorder& TraceRecorder::Default() {
+  // Leaky for the same reason as MetricsRegistry::Default(): spans may fire
+  // from threads torn down after main() returns.
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+TraceRecorder::ThreadRing& TraceRecorder::RingForThisThread() {
+  // Rings are owned by the recorder and intentionally never freed: a thread
+  // may exit while Collect() readers still hold the pointer.
+  thread_local ThreadRing* ring = [this] {
+    auto* r = new ThreadRing();
+    std::lock_guard<std::mutex> lock(mu_);
+    r->capacity = capacity_;
+    r->events.resize(static_cast<size_t>(r->capacity));
+    r->tid = next_tid_++;
+    rings_.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void TraceRecorder::Record(const SpanEvent& event) {
+  ThreadRing& ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring.mu);
+  ring.events[static_cast<size_t>(ring.head)] = event;
+  ring.head = (ring.head + 1) % ring.capacity;
+  if (ring.count < ring.capacity) {
+    ++ring.count;
+  } else {
+    ++ring.dropped;  // overwrote the oldest event
+  }
+}
+
+std::vector<TraceRecorder::CollectedEvent> TraceRecorder::Collect() const {
+  std::vector<ThreadRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<CollectedEvent> out;
+  for (ThreadRing* ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    // Oldest-first: the ring starts at head-count (mod capacity).
+    const int start =
+        (ring->head - ring->count + ring->capacity) % ring->capacity;
+    for (int i = 0; i < ring->count; ++i) {
+      const int idx = (start + i) % ring->capacity;
+      out.push_back(
+          CollectedEvent{ring->events[static_cast<size_t>(idx)], ring->tid});
+    }
+  }
+  return out;
+}
+
+int64_t TraceRecorder::DroppedCount() const {
+  std::vector<ThreadRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  int64_t dropped = 0;
+  for (ThreadRing* ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    dropped += ring->dropped;
+  }
+  return dropped;
+}
+
+void TraceRecorder::Clear() {
+  std::vector<ThreadRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  for (ThreadRing* ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    ring->head = 0;
+    ring->count = 0;
+    ring->dropped = 0;
+  }
+}
+
+void TraceRecorder::set_ring_capacity(int capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity < 1 ? 1 : capacity;
+}
+
+Histogram& SpanSite::histogram() {
+  Histogram* h = histogram_.load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = &MetricsRegistry::Default().GetHistogram(std::string("span.") + name_);
+    histogram_.store(h, std::memory_order_release);  // idempotent: same ptr
+  }
+  return *h;
+}
+
+}  // namespace alphaevolve::obs

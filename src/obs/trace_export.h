@@ -1,0 +1,24 @@
+#ifndef ALPHAEVOLVE_OBS_TRACE_EXPORT_H_
+#define ALPHAEVOLVE_OBS_TRACE_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+namespace alphaevolve::obs {
+
+class TraceRecorder;
+
+/// Renders the recorder's buffered spans in the Chrome trace event format
+/// ({"traceEvents": [{"name", "ph": "X", "ts", "dur", "pid", "tid"}, ...]}),
+/// loadable in chrome://tracing and Perfetto. Timestamps/durations are in
+/// microseconds (the format's unit); tid is the recorder's stable per-thread
+/// track id. The --trace-out artifact.
+std::string ToChromeTraceJson(const TraceRecorder& recorder);
+
+/// Prints a per-span-name summary (count, total ms, mean us, max us, plus a
+/// dropped-events note) to `os` — the end-of-run companion to the full trace.
+void PrintSpanSummary(const TraceRecorder& recorder, std::ostream& os);
+
+}  // namespace alphaevolve::obs
+
+#endif  // ALPHAEVOLVE_OBS_TRACE_EXPORT_H_

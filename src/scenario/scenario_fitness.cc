@@ -4,10 +4,39 @@
 #include <cmath>
 
 #include "eval/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/pipeline.h"
 
 namespace alphaevolve::scenario {
+
+namespace {
+
+/// Per-stage accounting for the cheap-first scoring cascade. Workers score
+/// concurrently, so these use the striped counters; totals are still
+/// thread-count invariant because every candidate passes through exactly one
+/// reject path (or the full fan-out) regardless of scheduling.
+struct StageCounters {
+  obs::Counter& baseline_evals;
+  obs::Counter& cutoff_rejects;
+  obs::Counter& screen_rejects;
+  obs::Counter& regime_evals;
+  obs::Counter& invalid;
+
+  static StageCounters& Get() {
+    static StageCounters* c = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      return new StageCounters{reg.GetCounter("scenario.baseline_evals"),
+                               reg.GetCounter("scenario.cutoff_rejects"),
+                               reg.GetCounter("scenario.screen_rejects"),
+                               reg.GetCounter("scenario.regime_evals"),
+                               reg.GetCounter("scenario.invalid")};
+    }();
+    return *c;
+  }
+};
+
+}  // namespace
 
 ScenarioFitness::ScenarioFitness(const ScenarioSuite& suite,
                                  const market::DatasetConfig& dc,
@@ -32,13 +61,18 @@ core::ScoreOutcome ScenarioFitness::Score(
     uint64_t seed,
     const std::vector<std::vector<double>>& accepted_valid_returns,
     double correlation_cutoff) {
+  AE_SPAN("scenario.score");
   core::ScoreOutcome out;
 
   // Stage 1 — the cheap baseline evaluation, exactly the plain driver's.
   out.baseline =
       baseline_evaluator.Evaluate(program, seed, /*include_test=*/false);
   out.regimes_evaluated = 1;
-  if (!out.baseline.valid) return out;  // fitness stays kInvalidFitness
+  if (obs::Enabled()) StageCounters::Get().baseline_evals.Add();
+  if (!out.baseline.valid) {
+    if (obs::Enabled()) StageCounters::Get().invalid.Add();
+    return out;  // fitness stays kInvalidFitness
+  }
 
   // Stage 2 — weak-correlation cutoff on the baseline validation returns.
   for (const auto& accepted : accepted_valid_returns) {
@@ -46,6 +80,7 @@ core::ScoreOutcome ScenarioFitness::Score(
         out.baseline.valid_portfolio_returns, accepted);
     if (std::abs(corr) > correlation_cutoff) {
       out.cutoff_discarded = true;
+      if (obs::Enabled()) StageCounters::Get().cutoff_rejects.Add();
       return out;
     }
   }
@@ -59,6 +94,7 @@ core::ScoreOutcome ScenarioFitness::Score(
   if (regimes > 1 && options_.cheap_first_screen &&
       out.baseline.ic_valid < options_.screen_min_ic) {
     out.screened_out = true;
+    if (obs::Enabled()) StageCounters::Get().screen_rejects.Add();
     return out;
   }
 
@@ -69,9 +105,11 @@ core::ScoreOutcome ScenarioFitness::Score(
   std::vector<core::AlphaMetrics> metrics(static_cast<size_t>(regimes));
   metrics[0] = out.baseline;
   {
+    AE_SPAN("scenario.regime_fanout");
     TaskGroup group(fanout_pool_);
     for (int i = 1; i < regimes; ++i) {
       group.Submit([this, i, &program, seed, &metrics] {
+        AE_SPAN("scenario.regime_eval");
         core::EvaluatorPool::Lease lease(
             *regime_pools_[static_cast<size_t>(i - 1)]);
         metrics[static_cast<size_t>(i)] = lease->Evaluate(
@@ -82,11 +120,17 @@ core::ScoreOutcome ScenarioFitness::Score(
     group.WaitAll();
   }
   out.regimes_evaluated = regimes;
+  if (obs::Enabled()) {
+    StageCounters::Get().regime_evals.Add(regimes - 1);
+  }
 
   // Stage 5 — aggregate in suite order. A candidate that degenerates in any
   // regime (non-finite predictions under stress) is not a durable alpha.
   for (const auto& m : metrics) {
-    if (!m.valid) return out;  // fitness stays kInvalidFitness
+    if (!m.valid) {
+      if (obs::Enabled()) StageCounters::Get().invalid.Add();
+      return out;  // fitness stays kInvalidFitness
+    }
   }
   switch (options_.aggregation) {
     case core::ScenarioAggregation::kWorstCase: {

@@ -1,7 +1,9 @@
 #include "util/json.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/check.h"
 
@@ -144,6 +146,249 @@ JsonWriter& JsonWriter::Value(bool value) {
 std::string JsonWriter::TakeString() {
   AE_CHECK(stack_.empty() && !after_key_);
   return std::move(out_);
+}
+
+/// Strict single-pass recursive-descent parser over a string_view. A friend
+/// of JsonValue so it can fill the private members directly.
+class JsonValueParser {
+ public:
+  explicit JsonValueParser(std::string_view text) : text_(text) {}
+
+  JsonValue ParseDocument() {
+    JsonValue v = ParseValue();
+    SkipWhitespace();
+    AE_CHECK_MSG(pos_ == text_.size(), "json: trailing characters");
+    return v;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    AE_CHECK_MSG(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  char Next() {
+    AE_CHECK_MSG(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void Expect(char c) {
+    AE_CHECK_MSG(Next() == c, "json: unexpected character");
+  }
+
+  void ExpectLiteral(std::string_view lit) {
+    AE_CHECK_MSG(text_.substr(pos_, lit.size()) == lit, "json: bad literal");
+    pos_ += lit.size();
+  }
+
+  JsonValue ParseValue() {
+    AE_CHECK_MSG(depth_ < 128, "json: nesting too deep");
+    ++depth_;
+    SkipWhitespace();
+    JsonValue v;
+    switch (Peek()) {
+      case '{': v = ParseObject(); break;
+      case '[': v = ParseArray(); break;
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = ParseStringBody();
+        break;
+      case 't':
+        ExpectLiteral("true");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        break;
+      case 'f':
+        ExpectLiteral("false");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        break;
+      case 'n':
+        ExpectLiteral("null");
+        break;
+      default: v = ParseNumber();
+    }
+    --depth_;
+    return v;
+  }
+
+  std::string ParseStringBody() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      const char c = Next();
+      if (c == '"') break;
+      AE_CHECK_MSG(static_cast<unsigned char>(c) >= 0x20,
+                   "json: control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = Next();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = Next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              AE_CHECK_MSG(false, "json: bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (the writer only escapes
+          // control characters, so surrogate pairs are not expected).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: AE_CHECK_MSG(false, "json: bad escape");
+      }
+    }
+    return out;
+  }
+
+  JsonValue ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    AE_CHECK_MSG(pos_ > start, "json: expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    AE_CHECK_MSG(end != nullptr && *end == '\0' && end != token.c_str(),
+                 "json: bad number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(ParseValue());
+      SkipWhitespace();
+      const char c = Next();
+      if (c == ']') break;
+      AE_CHECK_MSG(c == ',', "json: expected ',' or ']'");
+    }
+    return v;
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key = ParseStringBody();
+      SkipWhitespace();
+      Expect(':');
+      v.object_[std::move(key)] = ParseValue();
+      SkipWhitespace();
+      const char c = Next();
+      if (c == '}') break;
+      AE_CHECK_MSG(c == ',', "json: expected ',' or '}'");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue JsonValue::Parse(std::string_view text) {
+  JsonValueParser parser(text);
+  return parser.ParseDocument();
+}
+
+bool JsonValue::AsBool() const {
+  AE_CHECK_MSG(type_ == Type::kBool, "json: not a bool");
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  AE_CHECK_MSG(type_ == Type::kNumber, "json: not a number");
+  return number_;
+}
+
+int64_t JsonValue::AsInt() const {
+  return static_cast<int64_t>(AsDouble());
+}
+
+const std::string& JsonValue::AsString() const {
+  AE_CHECK_MSG(type_ == Type::kString, "json: not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  AE_CHECK_MSG(type_ == Type::kArray, "json: not an array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::AsObject() const {
+  AE_CHECK_MSG(type_ == Type::kObject, "json: not an object");
+  return object_;
+}
+
+const JsonValue& JsonValue::At(std::string_view key) const {
+  const auto& obj = AsObject();
+  auto it = obj.find(std::string(key));
+  AE_CHECK_MSG(it != obj.end(), "json: missing key");
+  return it->second;
+}
+
+bool JsonValue::Contains(std::string_view key) const {
+  if (type_ != Type::kObject) return false;
+  return object_.find(std::string(key)) != object_.end();
 }
 
 }  // namespace alphaevolve

@@ -2,6 +2,7 @@
 #define ALPHAEVOLVE_UTIL_JSON_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,6 +52,53 @@ class JsonWriter {
   bool needs_comma_ = false;
   bool after_key_ = false;
   bool root_done_ = false;    ///< A complete root value was emitted.
+};
+
+/// Parsed JSON value — the read side of the artifacts JsonWriter emits
+/// (metrics/trace exports, mined sets, bench records). Strict recursive
+/// descent: malformed input or trailing garbage throws CheckError, as does
+/// asking a value for the wrong type. Numbers are kept as doubles (every
+/// counter this repo writes fits exactly); object keys keep insertion order
+/// lost — use the map. Small and copyable; not built for huge documents.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses exactly one JSON document from `text` (surrounding whitespace
+  /// allowed). Throws CheckError on any syntax error.
+  static JsonValue Parse(std::string_view text);
+
+  JsonValue() = default;  // null
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; AE_CHECK on type mismatch.
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;  ///< AsDouble truncated toward zero
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+  const std::map<std::string, JsonValue>& AsObject() const;
+
+  /// Object member access; AE_CHECK if not an object or key missing.
+  const JsonValue& At(std::string_view key) const;
+  bool Contains(std::string_view key) const;
+
+ private:
+  friend class JsonValueParser;  // json.cc; builds values during Parse
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
 };
 
 }  // namespace alphaevolve

@@ -3,9 +3,35 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/telemetry.h"
 #include "util/check.h"
 
 namespace alphaevolve {
+namespace {
+
+/// Pool occupancy metrics, shared by every ThreadPool in the process (the
+/// repo runs one per search context; per-pool attribution isn't worth a
+/// registry lookup on the submit path). `queue_depth` tracks the short-lived
+/// queue only; `tasks_helped` counts tasks drained by non-worker threads
+/// through TryRunOneTask — the helping-wait steal counter (both ParallelFor
+/// joins and TaskGroup waits land there).
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Counter& submitted;
+  obs::Counter& helped;
+
+  static PoolMetrics& Get() {
+    static PoolMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Default();
+      return new PoolMetrics{reg.GetGauge("threadpool.queue_depth"),
+                             reg.GetCounter("threadpool.tasks_submitted"),
+                             reg.GetCounter("threadpool.tasks_helped")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   AE_CHECK(num_threads >= 1);
@@ -30,6 +56,11 @@ void ThreadPool::Submit(std::function<void()> task) {
     AE_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+  }
+  if (obs::Enabled()) {
+    PoolMetrics& m = PoolMetrics::Get();
+    m.submitted.Add();
+    m.queue_depth.Add(1);
   }
   cv_task_.notify_one();
 }
@@ -57,6 +88,11 @@ bool ThreadPool::TryRunOneTask() {
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();
+  }
+  if (obs::Enabled()) {
+    PoolMetrics& m = PoolMetrics::Get();
+    m.helped.Add();
+    m.queue_depth.Add(-1);
   }
   task();
   {
@@ -312,6 +348,7 @@ void ThreadPool::WorkerLoop() {
       if (!queue_.empty()) {
         task = std::move(queue_.front());
         queue_.pop_front();
+        if (obs::Enabled()) PoolMetrics::Get().queue_depth.Add(-1);
       } else if (!long_lived_queue_.empty()) {
         task = std::move(long_lived_queue_.front());
         long_lived_queue_.pop_front();
