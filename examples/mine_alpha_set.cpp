@@ -33,8 +33,16 @@
 //
 // Telemetry (position-independent, see telemetry_flags.h): --telemetry,
 // --metrics-out=PATH, --trace-out=PATH, --progress-every=SECS.
+//
+// Crash tolerance (position-independent, see checkpoint_flags.h):
+// --checkpoint-dir=DIR, --checkpoint-every=N, --checkpoint-every-secs=S,
+// --checkpoint-keep=K, --resume, --max-candidates=N, --eval-budget=S.
+// With --max-candidates the per-search budget is candidates instead of
+// wall-clock, so a SIGKILLed run resumed with --resume finishes with the
+// same accepted set, stats, and JSON artifact as an uninterrupted one.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint_flags.h"
 #include "core/evaluator_pool.h"
 #include "core/generators.h"
 #include "core/mining.h"
@@ -60,6 +69,8 @@ using namespace alphaevolve;
 int main(int argc, char** argv) {
   const examples::TelemetryFlags telemetry =
       examples::StripTelemetryFlags(argc, argv);
+  const examples::CheckpointFlags ck =
+      examples::StripCheckpointFlags(argc, argv);
   auto progress = examples::StartTelemetry(telemetry);
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 3;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 3.0;
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
   core::EvaluatorConfig eval_config;
   eval_config.executor.intra_candidate_threads = intra_threads;
   eval_config.executor.fuse_segments = fuse;
+  eval_config.eval_budget_seconds = ck.eval_budget;
 
   // Stress-in-the-loop mode: the scorer owns the base panel plus the
   // copy-on-write regime views; the mining pool evaluates over its baseline
@@ -105,10 +117,13 @@ int main(int argc, char** argv) {
   core::EvaluatorPool pool(dataset, eval_config, num_threads);
 
   core::EvolutionConfig config;
-  config.max_candidates = 0;
-  config.time_budget_seconds = seconds;
+  config.max_candidates = ck.max_candidates;  // 0 = wall-clock budgeted
+  config.time_budget_seconds = ck.max_candidates > 0 ? 0.0 : seconds;
   config.num_threads = num_threads;  // batch size auto-derives (4x threads)
   config.pipeline_depth = pipeline_depth;
+  // Checkpointed searches own their caches (snapshot/restore needs that), so
+  // the round-shared cache is off when a checkpoint dir is set.
+  if (ck.enabled()) config.share_round_cache = false;
   core::WeaklyCorrelatedMiner miner(pool, config);
   if (scorer != nullptr) {
     miner.UseCandidateScorer(scorer.get());
@@ -131,13 +146,60 @@ int main(int argc, char** argv) {
   // Every round's per-search attribution, for the JSON artifact.
   std::vector<std::vector<core::SearchStats>> round_stats;
 
-  for (int round = 0; round < rounds; ++round) {
+  // Campaign-level crash tolerance: the "miner" stream snapshots the
+  // accepted set + per-round stats after every completed round; per-search
+  // "r<round>-s<seed>" streams snapshot at batch barriers inside a round.
+  std::unique_ptr<ckpt::CheckpointWriter> campaign_writer;
+  int start_round = 0;
+  double wall_base = 0.0;
+  const auto run_start = std::chrono::steady_clock::now();
+  if (ck.enabled()) {
+    campaign_writer = std::make_unique<ckpt::CheckpointWriter>(
+        ck.dir, "miner", ck.ToWriterOptions());
+    int64_t generation = 0;
+    if (auto state = examples::LoadCampaignResume(ck, "miner", &generation)) {
+      for (core::AcceptedAlpha& a : state->accepted) {
+        miner.Accept(std::move(a.name), a.program, a.metrics);
+      }
+      round_stats = std::move(state->round_stats);
+      start_round = state->rounds_done;
+      wall_base = state->wall_seconds;
+      std::printf(
+          "resuming from %s generation %lld: %d round(s) done, %zu alpha(s) "
+          "accepted, ~%.1fs of prior wall-clock saved\n\n",
+          ck.dir.c_str(), static_cast<long long>(generation), start_round,
+          miner.accepted().size(), wall_base);
+    }
+  }
+
+  for (int round = start_round; round < rounds; ++round) {
     const core::AlphaProgram init = core::MakeExpertAlpha(dataset.window());
     // Two seeds per round, searched concurrently against the same accepted
     // set; keep the winner by validation Sharpe (paper §5.4.1).
     const uint64_t base_seed = static_cast<uint64_t>(round) * 2 + 1;
-    const std::vector<core::WeaklyCorrelatedMiner::SearchSpec> specs = {
+    std::vector<core::WeaklyCorrelatedMiner::SearchSpec> specs = {
         {init, base_seed}, {init, base_seed + 1}};
+    std::vector<std::unique_ptr<ckpt::CheckpointWriter>> search_writers;
+    std::vector<std::optional<core::EvolutionCheckpoint>> search_resumes(
+        specs.size());
+    if (ck.enabled()) {
+      for (size_t s = 0; s < specs.size(); ++s) {
+        const std::string stem = "r" + std::to_string(round) + "-s" +
+                                 std::to_string(specs[s].seed);
+        search_writers.push_back(std::make_unique<ckpt::CheckpointWriter>(
+            ck.dir, stem, ck.ToWriterOptions()));
+        specs[s].checkpoint_sink = search_writers.back().get();
+        search_resumes[s] = examples::LoadSearchResume(ck, stem);
+        if (search_resumes[s].has_value()) {
+          specs[s].resume = &*search_resumes[s];
+          std::printf(
+              "  resuming search %s at batch %lld (%lld candidates done)\n",
+              stem.c_str(),
+              static_cast<long long>(search_resumes[s]->batches_committed),
+              static_cast<long long>(search_resumes[s]->stats.candidates));
+        }
+      }
+    }
     const std::vector<core::EvolutionResult> results =
         miner.RunSearches(specs);
     const core::EvolutionResult* r = nullptr;
@@ -175,16 +237,36 @@ int main(int argc, char** argv) {
     if (r == nullptr) {
       std::printf("round %d: no uncorrelated alpha found (searched %lld)\n",
                   round, static_cast<long long>(searched));
-      continue;
+    } else {
+      const double corr = miner.CorrelationWithAccepted(r->best_metrics);
+      std::printf(
+          "round %d: IC(valid)=%.4f Sharpe(valid)=%.2f corr-with-A=%s "
+          "(searched %lld, cutoff-discarded %lld)\n",
+          round, r->best_metrics.ic_valid, r->best_metrics.sharpe_valid,
+          std::isnan(corr) ? "NA" : std::to_string(corr).c_str(),
+          static_cast<long long>(searched), static_cast<long long>(discarded));
+      miner.Accept("alpha_" + std::to_string(round), r->best,
+                   r->best_metrics);
     }
-    const double corr = miner.CorrelationWithAccepted(r->best_metrics);
-    std::printf(
-        "round %d: IC(valid)=%.4f Sharpe(valid)=%.2f corr-with-A=%s "
-        "(searched %lld, cutoff-discarded %lld)\n",
-        round, r->best_metrics.ic_valid, r->best_metrics.sharpe_valid,
-        std::isnan(corr) ? "NA" : std::to_string(corr).c_str(),
-        static_cast<long long>(searched), static_cast<long long>(discarded));
-    miner.Accept("alpha_" + std::to_string(round), r->best, r->best_metrics);
+    if (campaign_writer != nullptr) {
+      ckpt::CampaignState state;
+      state.rounds_done = round + 1;
+      state.wall_seconds =
+          wall_base + std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - run_start)
+                          .count();
+      state.accepted = miner.accepted();
+      state.round_stats = round_stats;
+      campaign_writer->WriteBlob(ckpt::kCampaignSnapshotKind,
+                                 ckpt::EncodeCampaign(state));
+      // The round is durable; its per-search snapshot streams are obsolete.
+      // Drain each writer's background publisher first, or a late publish
+      // could resurrect a file after the sweep.
+      for (const auto& w : search_writers) {
+        w->Flush();
+        ckpt::RemoveCheckpoints(w->dir(), w->stem());
+      }
+    }
   }
 
   // The defining property of A: pairwise weak correlation.
@@ -228,6 +310,7 @@ int main(int argc, char** argv) {
         w.Key("pruned_redundant").Value(s.pruned_redundant);
         w.Key("screened_out").Value(s.screened_out);
         w.Key("scenario_evals").Value(s.scenario_evals);
+        w.Key("eval_timeouts").Value(s.eval_timeouts);
         w.EndObject();
       }
       w.EndArray();

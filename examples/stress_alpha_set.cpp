@@ -12,6 +12,8 @@
 //
 // Telemetry (position-independent, see telemetry_flags.h): --telemetry,
 // --metrics-out=PATH, --trace-out=PATH, --progress-every=SECS.
+// Crash tolerance (see checkpoint_flags.h): --checkpoint-dir=DIR,
+// --checkpoint-every=N, --resume, --max-candidates=N, --eval-budget=S.
 //
 // num_threads drives both the miner's batch workers and the robustness
 // fan-out over (alpha, scenario) cells; omitted or <= 0 it falls back to
@@ -25,12 +27,16 @@
 // against the materialized robustness panels for comparison.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "checkpoint_flags.h"
 #include "core/evaluator_pool.h"
 #include "core/generators.h"
 #include "core/mining.h"
@@ -128,6 +134,8 @@ bool WriteJson(const std::string& path, const scenario::ScenarioSuite& suite,
 int main(int argc, char** argv) {
   const examples::TelemetryFlags telemetry =
       examples::StripTelemetryFlags(argc, argv);
+  const examples::CheckpointFlags ck =
+      examples::StripCheckpointFlags(argc, argv);
   auto progress = examples::StartTelemetry(telemetry);
   const int rounds = argc > 1 ? std::atoi(argv[1]) : 2;
   const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
@@ -165,6 +173,7 @@ int main(int argc, char** argv) {
   // IC over the suite served as copy-on-write overlay views (one shared
   // panel + per-regime label deltas) instead of baseline IC alone.
   core::EvaluatorConfig eval_config;
+  eval_config.eval_budget_seconds = ck.eval_budget;
   std::unique_ptr<scenario::ScenarioFitness> scorer;
   std::optional<market::Dataset> plain_panel;
   if (in_loop) {
@@ -188,13 +197,41 @@ int main(int argc, char** argv) {
       scorer != nullptr ? scorer->baseline_panel() : *plain_panel;
   core::EvaluatorPool pool(dataset, eval_config, num_threads);
   core::EvolutionConfig config;
-  config.max_candidates = 0;
-  config.time_budget_seconds = seconds;
+  config.max_candidates = ck.max_candidates;  // 0 = wall-clock budgeted
+  config.time_budget_seconds = ck.max_candidates > 0 ? 0.0 : seconds;
   config.num_threads = num_threads;
+  if (ck.enabled()) config.share_round_cache = false;
   core::WeaklyCorrelatedMiner miner(pool, config);
   if (scorer != nullptr) {
     miner.UseCandidateScorer(scorer.get());
     scorer->set_fanout_pool(pool.thread_pool());
+  }
+
+  // Campaign-level crash tolerance, as in mine_alpha_set. Restoring the
+  // accepted set happens *before* the accept hook is installed, so resumed
+  // alphas are not stress-tested a second time.
+  std::unique_ptr<ckpt::CheckpointWriter> campaign_writer;
+  std::vector<std::vector<core::SearchStats>> round_stats;
+  int start_round = 0;
+  double wall_base = 0.0;
+  const auto run_start = std::chrono::steady_clock::now();
+  if (ck.enabled()) {
+    campaign_writer = std::make_unique<ckpt::CheckpointWriter>(
+        ck.dir, "stress", ck.ToWriterOptions());
+    int64_t generation = 0;
+    if (auto state = examples::LoadCampaignResume(ck, "stress", &generation)) {
+      for (core::AcceptedAlpha& a : state->accepted) {
+        miner.Accept(std::move(a.name), a.program, a.metrics);
+      }
+      round_stats = std::move(state->round_stats);
+      start_round = state->rounds_done;
+      wall_base = state->wall_seconds;
+      std::printf(
+          "resuming from %s generation %lld: %d round(s) done, %zu alpha(s) "
+          "accepted, ~%.1fs of prior wall-clock saved\n",
+          ck.dir.c_str(), static_cast<long long>(generation), start_round,
+          miner.accepted().size(), wall_base);
+    }
   }
 
   // Stress each alpha the moment it enters A.
@@ -204,15 +241,47 @@ int main(int argc, char** argv) {
   });
 
   std::printf("\nmining %d round(s), %.1fs each...\n", rounds, seconds);
-  for (int round = 0; round < rounds; ++round) {
+  for (int round = start_round; round < rounds; ++round) {
     const core::AlphaProgram init = core::MakeExpertAlpha(dataset.window());
+    const uint64_t seed = static_cast<uint64_t>(round) + 1;
+    std::unique_ptr<ckpt::CheckpointWriter> search_writer;
+    std::optional<core::EvolutionCheckpoint> search_resume;
+    if (ck.enabled()) {
+      const std::string stem = "r" + std::to_string(round);
+      search_writer = std::make_unique<ckpt::CheckpointWriter>(
+          ck.dir, stem, ck.ToWriterOptions());
+      search_resume = examples::LoadSearchResume(ck, stem);
+      if (search_resume.has_value()) {
+        std::printf("  resuming search %s at batch %lld\n", stem.c_str(),
+                    static_cast<long long>(search_resume->batches_committed));
+      }
+    }
     const core::EvolutionResult r =
-        miner.RunSearch(init, static_cast<uint64_t>(round) + 1);
+        miner.RunSearch(init, seed, search_writer.get(),
+                        search_resume.has_value() ? &*search_resume : nullptr);
+    round_stats.push_back({core::SearchStats::FromEvolution(seed, r.stats)});
     if (!r.has_alpha) {
       std::printf("round %d: no uncorrelated alpha found\n", round);
-      continue;
+    } else {
+      miner.Accept("alpha_" + std::to_string(round), r.best, r.best_metrics);
     }
-    miner.Accept("alpha_" + std::to_string(round), r.best, r.best_metrics);
+    if (campaign_writer != nullptr) {
+      ckpt::CampaignState state;
+      state.rounds_done = round + 1;
+      state.wall_seconds =
+          wall_base + std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - run_start)
+                          .count();
+      state.accepted = miner.accepted();
+      state.round_stats = round_stats;
+      campaign_writer->WriteBlob(ckpt::kCampaignSnapshotKind,
+                                 ckpt::EncodeCampaign(state));
+      if (search_writer != nullptr) {
+        // Drain the background publisher before sweeping its stream.
+        search_writer->Flush();
+        ckpt::RemoveCheckpoints(search_writer->dir(), search_writer->stem());
+      }
+    }
   }
 
   // Final robustness pass over the whole accepted set, parallel over the

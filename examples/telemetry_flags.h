@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/flush.h"
 #include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -81,15 +82,23 @@ inline std::unique_ptr<obs::ProgressReporter> StartTelemetry(
     const TelemetryFlags& flags) {
   if (!flags.enabled) return nullptr;
   obs::Configure(flags.ToConfig());
-  if (flags.progress_every <= 0.0) return nullptr;
-  obs::ProgressReporter::Options options;
-  options.interval_seconds = flags.progress_every;
-  options.stream = &std::cerr;  // progress lines; stdout keeps the report
-  if (!flags.metrics_out.empty()) {
-    options.json_path = flags.metrics_out + ".progress";
+  std::unique_ptr<obs::ProgressReporter> reporter;
+  if (flags.progress_every > 0.0) {
+    obs::ProgressReporter::Options options;
+    options.interval_seconds = flags.progress_every;
+    options.stream = &std::cerr;  // progress lines; stdout keeps the report
+    if (!flags.metrics_out.empty()) {
+      options.json_path = flags.metrics_out + ".progress";
+    }
+    reporter = std::make_unique<obs::ProgressReporter>(
+        obs::MetricsRegistry::Default(), std::move(options));
   }
-  return std::make_unique<obs::ProgressReporter>(
-      obs::MetricsRegistry::Default(), std::move(options));
+  // If the run dies before FinishTelemetry — fatal signal, stray exit() —
+  // the hook still flushes the reporter and writes the artifacts, so a
+  // crashed campaign keeps its telemetry.
+  obs::InstallCrashFlush(
+      {flags.metrics_out, flags.trace_out, reporter.get()});
+  return reporter;
 }
 
 /// Stops the progress stream, writes the requested artifacts, and prints the
@@ -97,6 +106,7 @@ inline std::unique_ptr<obs::ProgressReporter> StartTelemetry(
 inline bool FinishTelemetry(const TelemetryFlags& flags,
                             std::unique_ptr<obs::ProgressReporter> reporter) {
   if (!flags.enabled) return true;
+  obs::DisarmCrashFlush();  // the normal path below writes the artifacts
   if (reporter != nullptr) reporter->Stop();
   bool ok = true;
   if (!flags.metrics_out.empty()) {

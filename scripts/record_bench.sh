@@ -31,6 +31,11 @@
 #                  with the obs layer disabled / counters-only / full span
 #                  tracing; overhead_pct vs the disabled run — acceptance is
 #                  full tracing under 5%)
+#   BENCH_9.json — checkpointing overhead (BM_CheckpointOverhead: mining
+#                  cands/sec with snapshots off / every 8 batches / every
+#                  batch; overhead_pct vs the off run plus snapshot bytes
+#                  and fsync+rename write ms — acceptance is the default
+#                  cadence under 3%)
 #
 # Every record gets a top-level "machine" object (core count, CPU model,
 # AE_NATIVE on/off, hostname, and — from bench_micro's own context — the
@@ -55,6 +60,7 @@ BENCHES=(
   "BENCH_6.json BM_DispatchedMatMul|BM_FusedRelationSegment"
   "BENCH_7.json BM_ScenarioFitness"
   "BENCH_8.json BM_TelemetryOverhead"
+  "BENCH_9.json BM_CheckpointOverhead"
 )
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then

@@ -42,8 +42,13 @@ Evaluator::Evaluator(const market::Dataset& dataset, EvaluatorConfig config,
 AlphaMetrics Evaluator::Evaluate(const AlphaProgram& program, uint64_t seed,
                                  bool include_test) {
   AlphaMetrics m;
-  ExecutionResult r = executor_.Run(program, seed, include_test);
-  if (!r.valid) return m;  // m.valid == false, fitness kInvalidFitness
+  ExecutionResult r =
+      executor_.Run(program, seed, include_test, /*limit_train=*/-1,
+                    /*limit_valid=*/-1, config_.eval_budget_seconds);
+  if (!r.valid) {  // m.valid == false, fitness kInvalidFitness
+    m.timed_out = r.timed_out;
+    return m;
+  }
 
   const auto& valid_dates = dataset_.dates(market::Split::kValid);
   m.valid = true;

@@ -24,6 +24,9 @@ inline constexpr double kInvalidFitness = -1.0;
 /// `EvaluatorConfig::costs` and coincide with gross when it is disabled.
 struct AlphaMetrics {
   bool valid = false;
+  /// Abandoned by the evaluation watchdog (EvaluatorConfig::
+  /// eval_budget_seconds); always invalid when set.
+  bool timed_out = false;
   double ic_valid = kInvalidFitness;   ///< Fitness (paper Eq. 1, on S_v).
   double ic_test = 0.0;
   double sharpe_valid = 0.0;
@@ -40,6 +43,14 @@ struct EvaluatorConfig {
   ExecutorConfig executor;
   eval::PortfolioConfig portfolio;
   eval::CostConfig costs;  ///< Disabled by default (gross == net).
+
+  /// Per-candidate wall-clock budget for one full evaluation (the
+  /// evaluation watchdog; see Executor::Run). 0 (the default) disarms it.
+  /// An over-budget candidate comes back invalid with timed_out set and is
+  /// counted in EvolutionStats::eval_timeouts instead of hanging its batch.
+  /// Arming it makes results machine-speed dependent — long unattended
+  /// campaigns want it; bit-reproducible/resumable experiments do not.
+  double eval_budget_seconds = 0.0;
 };
 
 /// How a multi-regime scorer folds per-regime metrics into one fitness.

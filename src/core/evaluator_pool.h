@@ -33,6 +33,11 @@ namespace alphaevolve::core {
 /// With `num_threads == 1` and no intra-candidate sharding, no threads are
 /// spawned and every batched call runs inline on the caller — the serial
 /// path stays allocation- and synchronization-free in the hot loop.
+///
+/// The evaluation watchdog rides the shared config: set
+/// `config.eval_budget_seconds > 0` and every leased evaluator abandons
+/// over-budget candidates (invalid + timed_out) instead of letting one
+/// pathological program stall a whole batch of workers.
 class EvaluatorPool {
  public:
   EvaluatorPool(const market::Dataset& dataset, EvaluatorConfig config,

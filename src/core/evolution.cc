@@ -32,6 +32,7 @@ struct SearchCounters {
   obs::Counter& cutoff_discarded;
   obs::Counter& screened_out;
   obs::Counter& scenario_evals;
+  obs::Counter& eval_timeouts;
   obs::Gauge& inflight_batches;
 
   static SearchCounters& Get() {
@@ -44,6 +45,7 @@ struct SearchCounters {
                                 reg.GetCounter("evolution.cutoff_discarded"),
                                 reg.GetCounter("evolution.screened_out"),
                                 reg.GetCounter("evolution.scenario_evals"),
+                                reg.GetCounter("evolution.eval_timeouts"),
                                 reg.GetGauge("evolution.inflight_batches")};
     }();
     return *c;
@@ -156,12 +158,14 @@ void Evolution::EvaluateCandidate(Evaluator& evaluator, Candidate& c) {
     c.fitness = outcome.fitness;
     c.cutoff_discarded = outcome.cutoff_discarded;
     c.screened_out = outcome.screened_out;
+    c.timed_out = outcome.baseline.timed_out;
     c.regimes_evaluated = outcome.regimes_evaluated;
     cache_->Insert(c.fingerprint, c.fitness);
     return;
   }
   const AlphaMetrics metrics =
       evaluator.Evaluate(program, c.eval_seed, /*include_test=*/false);
+  c.timed_out = metrics.timed_out;
   double fitness = metrics.valid ? metrics.ic_valid : kInvalidFitness;
   if (metrics.valid && !accepted_valid_returns_.empty()) {
     for (const auto& accepted : accepted_valid_returns_) {
@@ -242,6 +246,7 @@ void Evolution::ApplyScored(const Candidate& candidate) {
       ++stats_.evaluated;
       if (candidate.cutoff_discarded) ++stats_.cutoff_discarded;
       if (candidate.screened_out) ++stats_.screened_out;
+      if (candidate.timed_out) ++stats_.eval_timeouts;
       stats_.scenario_evals += candidate.regimes_evaluated;
       break;
   }
@@ -260,12 +265,37 @@ void Evolution::ApplyScored(const Candidate& candidate) {
         c.evaluated.Add();
         if (candidate.cutoff_discarded) c.cutoff_discarded.Add();
         if (candidate.screened_out) c.screened_out.Add();
+        if (candidate.timed_out) c.eval_timeouts.Add();
         if (candidate.regimes_evaluated > 0) {
           c.scenario_evals.Add(candidate.regimes_evaluated);
         }
         break;
     }
   }
+}
+
+EvolutionCheckpoint Evolution::MakeCheckpoint(
+    int64_t batches_committed, double elapsed, double best_so_far,
+    const EvolutionResult& result, const std::deque<Member>& population) {
+  AE_SPAN("checkpoint.capture");
+  EvolutionCheckpoint ck;
+  ck.config_seed = config_.seed;
+  ck.batches_committed = batches_committed;
+  ck.stats = stats_;
+  ck.stats.elapsed_seconds = elapsed;
+  ck.rng_state = rng_.state();
+  ck.best_so_far = best_so_far;
+  ck.trajectory = result.trajectory;
+  ck.population.reserve(population.size());
+  for (const Member& m : population) {
+    // Snapshots capture only committed state: at a barrier every member's
+    // fitness is resolved (the pipelined driver drained first).
+    AE_CHECK_MSG(m.pending == nullptr,
+                 "checkpoint capture with an unresolved population member");
+    ck.population.push_back({m.program, m.fitness});
+  }
+  ck.cache_entries = cache_->Snapshot();
+  return ck;
 }
 
 AlphaMetrics Evolution::EvaluateFull(const AlphaProgram& program) {
@@ -317,6 +347,24 @@ EvolutionResult Evolution::Run(const AlphaProgram& init) {
   // must keep earlier sharers' entries); only the per-run cache is reset.
   if (cache_ == &owned_cache_) cache_->Clear();
   stats_ = EvolutionStats{};
+  elapsed_base_ = 0.0;
+  if (ckpt_sink_ != nullptr || resume_.has_value()) {
+    // Checkpointed state must be wholly this search's own: a shared round
+    // cache mixes siblings' entries into the snapshot and makes the
+    // hit/evaluated split schedule-dependent, so neither capture nor
+    // restore could be deterministic.
+    AE_CHECK_MSG(cache_ == &owned_cache_,
+                 "checkpoint/resume requires the per-run fingerprint cache "
+                 "(disable share_round_cache / UseSharedCache)");
+  }
+  if (resume_.has_value()) {
+    AE_CHECK_MSG(resume_->config_seed == config_.seed,
+                 "resume checkpoint was written under a different seed");
+    rng_.set_state(resume_->rng_state);
+    stats_ = resume_->stats;
+    elapsed_base_ = resume_->stats.elapsed_seconds;
+    cache_->Restore(resume_->cache_entries);
+  }
   // Overlapping generation with evaluation needs workers to overlap with;
   // a poolless (fully serial) evolution always runs the lockstep driver.
   const bool pipelined = config_.pipeline_depth > 0 && pool_ != nullptr &&
@@ -337,7 +385,8 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
       return true;
     }
     return config_.time_budget_seconds > 0.0 &&
-           Seconds(start, Clock::now()) >= config_.time_budget_seconds;
+           elapsed_base_ + Seconds(start, Clock::now()) >=
+               config_.time_budget_seconds;
   };
 
   // Candidates left before max_candidates; batches are clamped so the
@@ -354,6 +403,34 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
         stats_.candidates % config_.trajectory_stride == 0) {
       result.trajectory.emplace_back(stats_.candidates, best_so_far);
     }
+  };
+
+  // Resume: re-enter the committed state (Run already restored the RNG,
+  // stats and cache). A search killed during P0 continues P0 naturally —
+  // the loop condition only sees the population size.
+  int64_t batches_committed = 0;
+  if (resume_.has_value()) {
+    for (const EvolutionCheckpoint::MemberState& m : resume_->population) {
+      population.push_back({m.program, m.fitness});
+    }
+    best_so_far = resume_->best_so_far;
+    result.trajectory = resume_->trajectory;
+    batches_committed = resume_->batches_committed;
+    resume_.reset();
+  }
+
+  // The batch-commit barrier is the checkpoint seam: everything the batch
+  // changed (stats, trajectory, population, cache inserts) is committed,
+  // nothing of the next batch has started.
+  auto maybe_checkpoint = [&]() {
+    ++batches_committed;
+    if (ckpt_sink_ == nullptr ||
+        !ckpt_sink_->WantCheckpoint(batches_committed)) {
+      return;
+    }
+    ckpt_sink_->WriteCheckpoint(MakeCheckpoint(
+        batches_committed, elapsed_base_ + Seconds(start, Clock::now()),
+        best_so_far, result, population));
   };
 
   // P0: mutations of the starting parent (§3 step 1), in batches.
@@ -376,6 +453,7 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
         population.push_back({std::move(c.program), c.fitness});
       }
     }
+    maybe_checkpoint();
   }
 
   // Regularized evolution: draw B tournament parents against the pre-batch
@@ -412,9 +490,10 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
         population.pop_front();
       }
     }
+    maybe_checkpoint();
   }
 
-  stats_.elapsed_seconds = Seconds(start, Clock::now());
+  stats_.elapsed_seconds = elapsed_base_ + Seconds(start, Clock::now());
   result.stats = stats_;
   FinishResult(result, population);
   return result;
@@ -487,7 +566,8 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
       return true;
     }
     return config_.time_budget_seconds > 0.0 &&
-           Seconds(start, Clock::now()) >= config_.time_budget_seconds;
+           elapsed_base_ + Seconds(start, Clock::now()) >=
+               config_.time_budget_seconds;
   };
 
   double best_so_far = kInvalidFitness;
@@ -498,6 +578,21 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
       result.trajectory.emplace_back(stats_.candidates, best_so_far);
     }
   };
+
+  // Resume: identical to RunSync's re-entry — a snapshot is always drained
+  // state, so the two drivers resume from the very same struct.
+  int64_t batches_committed = 0;
+  if (resume_.has_value()) {
+    for (const EvolutionCheckpoint::MemberState& m : resume_->population) {
+      population.push_back({m.program, m.fitness});
+    }
+    best_so_far = resume_->best_so_far;
+    result.trajectory = resume_->trajectory;
+    batches_committed = resume_->batches_committed;
+    planned_candidates = stats_.candidates;  // committed == planned so far
+    resume_.reset();
+  }
+  bool checkpoint_pending = false;
 
   auto generate_batch = [&]() {
     AE_SPAN("evolution.generate");
@@ -688,16 +783,39 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
   // exhausted. (The P0 and regularized-evolution phases of RunSync collapse
   // into one loop here: a batch mutates the starting parent while the
   // population is still below size, and tournament parents afterwards.)
+  //
+  // Checkpointing: a due checkpoint flips `checkpoint_pending`, which parks
+  // generation and drains the pipeline (commit-only) until nothing is in
+  // flight — drained state is exactly the synchronous driver's state at the
+  // same committed-batch count, so one snapshot format serves both drivers
+  // and resume is bit-identical at any depth. Commit order, and with it
+  // every result, is unchanged; the drain only costs a pipeline refill.
   for (;;) {
-    if (!out_of_budget() && static_cast<int>(in_flight.size()) <= depth) {
+    if (!checkpoint_pending && !out_of_budget() &&
+        static_cast<int>(in_flight.size()) <= depth) {
       generate_batch();
       continue;
     }
-    if (in_flight.empty()) break;
-    commit_oldest();
+    if (!in_flight.empty()) {
+      commit_oldest();
+      ++batches_committed;
+      if (ckpt_sink_ != nullptr &&
+          ckpt_sink_->WantCheckpoint(batches_committed)) {
+        checkpoint_pending = true;
+      }
+      continue;
+    }
+    if (checkpoint_pending) {
+      ckpt_sink_->WriteCheckpoint(MakeCheckpoint(
+          batches_committed, elapsed_base_ + Seconds(start, Clock::now()),
+          best_so_far, result, population));
+      checkpoint_pending = false;
+      continue;
+    }
+    break;
   }
 
-  stats_.elapsed_seconds = Seconds(start, Clock::now());
+  stats_.elapsed_seconds = elapsed_base_ + Seconds(start, Clock::now());
   result.stats = stats_;
   FinishResult(result, population);
   return result;

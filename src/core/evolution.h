@@ -1,10 +1,12 @@
 #ifndef ALPHAEVOLVE_CORE_EVOLUTION_H_
 #define ALPHAEVOLVE_CORE_EVOLUTION_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -127,6 +129,9 @@ struct EvolutionStats {
   /// baseline — instead of the suite size; the gap is the screen's saving).
   int64_t screened_out = 0;
   int64_t scenario_evals = 0;
+  /// Evaluations abandoned by the watchdog (EvaluatorConfig::
+  /// eval_budget_seconds); a subset of `evaluated`, scored kInvalidFitness.
+  int64_t eval_timeouts = 0;
   double elapsed_seconds = 0.0;
 
   /// Accumulates `other` into this record: counters add, elapsed takes the
@@ -140,6 +145,7 @@ struct EvolutionStats {
     cutoff_discarded += other.cutoff_discarded;
     screened_out += other.screened_out;
     scenario_evals += other.scenario_evals;
+    eval_timeouts += other.eval_timeouts;
     if (other.elapsed_seconds > elapsed_seconds) {
       elapsed_seconds = other.elapsed_seconds;
     }
@@ -158,6 +164,51 @@ struct EvolutionResult {
   EvolutionStats stats;
   /// (candidates searched, best fitness so far) samples — Fig. 6 series.
   std::vector<std::pair<int64_t, double>> trajectory;
+};
+
+/// A search's complete committed state at one batch barrier — everything a
+/// later process needs to continue the search bit-identically: the RNG
+/// cursor (raw xoshiro words, no draw replay), the population with resolved
+/// fitnesses, counters, the trajectory so far, and the fingerprint-cache
+/// contents in canonical (sorted) order. Captured only between batches, when
+/// no evaluation is in flight; the pipelined driver drains its in-flight
+/// batches first, which leaves exactly the synchronous driver's state at the
+/// same committed-batch count. The ckpt layer serializes this struct; core
+/// stays free of any file-format dependency.
+struct EvolutionCheckpoint {
+  uint64_t config_seed = 0;  ///< EvolutionConfig::seed that produced it.
+  int64_t batches_committed = 0;
+  /// Committed counters. elapsed_seconds holds the wall-clock spent up to
+  /// the snapshot; a resumed run accumulates on top of it. It is the one
+  /// field that can never be bitwise-reproduced — parity checks exclude it.
+  EvolutionStats stats;
+  std::array<uint64_t, 4> rng_state{};
+  double best_so_far = kInvalidFitness;
+  std::vector<std::pair<int64_t, double>> trajectory;
+  struct MemberState {
+    AlphaProgram program;
+    double fitness = kInvalidFitness;
+  };
+  std::vector<MemberState> population;  ///< oldest (front) to newest.
+  /// Fingerprint-cache contents, sorted by fingerprint.
+  std::vector<std::pair<uint64_t, double>> cache_entries;
+};
+
+/// Where Evolution hands off snapshots. Implemented by ckpt::CheckpointWriter
+/// (temp file + fsync + atomic rename with generation retention); tests plug
+/// in in-memory sinks.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  /// Called once per batch commit with the committed-batch count. Returning
+  /// true asks the driver to capture a snapshot at the next safe barrier
+  /// (immediately for the lockstep driver; after draining in-flight batches
+  /// for the pipelined one). The sink owns the cadence policy — every N
+  /// batches, every N seconds, throttled.
+  virtual bool WantCheckpoint(int64_t batches_committed) = 0;
+  /// Receives the captured snapshot; the sink owns durability and is free
+  /// to fail internally (a failed write must not stop the search).
+  virtual void WriteCheckpoint(const EvolutionCheckpoint& checkpoint) = 0;
 };
 
 /// Regularized evolution (tournament selection + aging), with the paper's
@@ -211,6 +262,32 @@ class Evolution {
   /// guarantees, since Score is deterministic in (program, seed).
   void UseCandidateScorer(CandidateScorer* scorer) { scorer_ = scorer; }
 
+  /// Installs a checkpoint sink consulted at every batch-commit barrier
+  /// (nullptr removes it). Checkpointing requires the per-run cache — a
+  /// shared round cache mixes siblings' entries into the snapshot and makes
+  /// the stats split schedule-dependent, so Run refuses the combination.
+  /// Checkpointing never perturbs results: captures happen strictly between
+  /// batches from already-committed state.
+  void UseCheckpointSink(CheckpointSink* sink) { ckpt_sink_ = sink; }
+
+  /// Arms the next Run to continue from `checkpoint` instead of starting
+  /// fresh: RNG cursor, population, stats, trajectory, and cache contents
+  /// are restored before the first batch. The run must use the same config
+  /// (seed, batch size, population size ...) that produced the snapshot;
+  /// the seed is checked, the rest is the caller's contract. Consumed by
+  /// the next Run. For a candidate-bounded search the resumed run finishes
+  /// bit-identical to the uninterrupted one; elapsed_seconds accumulates
+  /// (prior + current wall-clock) and is the only non-reproducible field.
+  void ResumeFrom(EvolutionCheckpoint checkpoint) {
+    resume_ = std::move(checkpoint);
+  }
+
+  /// Sorted contents of the cache the last Run populated — what snapshots
+  /// store; exposed for resume-parity tests.
+  std::vector<std::pair<uint64_t, double>> CacheSnapshot() const {
+    return cache_->Snapshot();
+  }
+
  private:
   /// One candidate moving through the scoring pipeline.
   struct Candidate {
@@ -229,6 +306,7 @@ class Evolution {
     double fitness = kInvalidFitness;
     bool cutoff_discarded = false;
     bool screened_out = false;   ///< scenario screen rejection (scorer only)
+    bool timed_out = false;      ///< abandoned by the evaluation watchdog
     int regimes_evaluated = 0;   ///< full evaluations paid (scorer only)
 
     // Async pipeline state (untouched by the synchronous driver).
@@ -278,6 +356,12 @@ class Evolution {
   void ApplyScored(const Candidate& candidate);
   /// Re-evaluates the winning program with test-side metrics included.
   AlphaMetrics EvaluateFull(const AlphaProgram& program);
+  /// Snapshots the committed state at a batch barrier. Every population
+  /// member's fitness must already be resolved (checked).
+  EvolutionCheckpoint MakeCheckpoint(int64_t batches_committed,
+                                     double elapsed, double best_so_far,
+                                     const EvolutionResult& result,
+                                     const std::deque<Member>& population);
   /// The lockstep driver (pipeline_depth == 0, or no pool to overlap with).
   EvolutionResult RunSync(const AlphaProgram& init);
   /// The bounded producer/consumer driver (pipeline_depth >= 1).
@@ -294,6 +378,9 @@ class Evolution {
   FingerprintCache owned_cache_;
   FingerprintCache* cache_ = &owned_cache_;  ///< may point to a shared cache
   CandidateScorer* scorer_ = nullptr;        ///< optional pluggable fitness
+  CheckpointSink* ckpt_sink_ = nullptr;      ///< optional snapshot consumer
+  std::optional<EvolutionCheckpoint> resume_;  ///< armed start state
+  double elapsed_base_ = 0.0;  ///< wall-clock inherited from a resume
   EvolutionStats stats_;
   Rng rng_{0};
 };

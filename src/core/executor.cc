@@ -1,6 +1,7 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <optional>
@@ -999,10 +1000,21 @@ void Executor::ExecCompiled(CompiledComponent& compiled, int refresh_date) {
 
 ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
                               bool include_test, int limit_train,
-                              int limit_valid) {
+                              int limit_valid, double budget_seconds) {
   run_seed_ = seed;
   draw_counter_ = 0;
   ZeroMemory();
+
+  // Evaluation watchdog (off at budget 0, the default): one steady_clock
+  // read per date boundary against a fixed deadline.
+  const bool budgeted = budget_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(budgeted ? budget_seconds : 0.0));
+  const auto over_budget = [budgeted, deadline]() {
+    return budgeted && std::chrono::steady_clock::now() >= deadline;
+  };
 
   // Persistent shard workers for this Run (no-op when serial), and — on the
   // fused path — the once-per-Run lowering that the date loop amortizes.
@@ -1038,6 +1050,11 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
           : std::min<int>(limit_train, static_cast<int>(train_dates.size()));
   for (int epoch = 0; epoch < config_.train_epochs; ++epoch) {
     for (int di = 0; di < num_train; ++di) {
+      if (over_budget()) {
+        result.valid = false;
+        result.timed_out = true;
+        return result;
+      }
       const int date = train_dates[static_cast<size_t>(di)];
       predict_at(date);
       if (!PredictionsFinite()) {
@@ -1061,6 +1078,10 @@ ExecutionResult Executor::Run(const AlphaProgram& program, uint64_t seed,
                   : std::min<int>(limit, static_cast<int>(dates.size()));
     out.reserve(static_cast<size_t>(num));
     for (int di = 0; di < num; ++di) {
+      if (over_budget()) {
+        result.timed_out = true;
+        return false;
+      }
       const int date = dates[static_cast<size_t>(di)];
       predict_at(date);
       if (!PredictionsFinite()) return false;

@@ -81,6 +81,7 @@ struct ExecutorConfig {
 /// Output of one full run: predictions per evaluation date per task.
 struct ExecutionResult {
   bool valid = true;  ///< false → a prediction went non-finite; discard alpha.
+  bool timed_out = false;  ///< true → abandoned by the evaluation watchdog.
   std::vector<std::vector<double>> valid_preds;  ///< [valid-date idx][task]
   std::vector<std::vector<double>> test_preds;   ///< [test-date idx][task]
 };
@@ -147,9 +148,16 @@ class Executor {
   /// (saves ~10% during evolution; final metrics re-run with true).
   /// `limit_train`/`limit_valid` truncate the date loops (-1 = all dates);
   /// the probe fingerprint uses small limits for a cheap functional hash.
+  /// `budget_seconds > 0` arms the evaluation watchdog: the run is abandoned
+  /// (valid = false, timed_out = true) at the first date boundary past the
+  /// wall-clock budget, so one pathological program cannot stall a batch.
+  /// The deadline is checked once per date — cheap against a lockstep pass
+  /// over the whole universe. Note an armed watchdog trades determinism for
+  /// liveness: whether a borderline candidate finishes depends on machine
+  /// speed, so bit-reproducible (and resumable) searches keep it at 0.
   ExecutionResult Run(const AlphaProgram& program, uint64_t seed,
                       bool include_test = true, int limit_train = -1,
-                      int limit_valid = -1);
+                      int limit_valid = -1, double budget_seconds = 0.0);
 
   int num_tasks() const { return num_tasks_; }
   int n() const { return n_; }

@@ -1,11 +1,14 @@
 #ifndef ALPHAEVOLVE_CORE_FINGERPRINT_CACHE_H_
 #define ALPHAEVOLVE_CORE_FINGERPRINT_CACHE_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/telemetry.h"
 
@@ -72,6 +75,30 @@ class FingerprintCache {
     for (Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mu);
       shard.map.clear();
+    }
+  }
+
+  /// All (fingerprint, fitness) entries, sorted by fingerprint — a canonical
+  /// order, so two caches with equal contents serialize bit-identically no
+  /// matter what insertion schedule built them. Shards are locked one at a
+  /// time; callers snapshot only at commit barriers, when no inserts are in
+  /// flight.
+  std::vector<std::pair<uint64_t, double>> Snapshot() const {
+    std::vector<std::pair<uint64_t, double>> out;
+    out.reserve(size());
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      out.insert(out.end(), shard.map.begin(), shard.map.end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Replaces the contents with a Snapshot()'s entries.
+  void Restore(const std::vector<std::pair<uint64_t, double>>& entries) {
+    Clear();
+    for (const auto& [fingerprint, fitness] : entries) {
+      Insert(fingerprint, fitness);
     }
   }
 

@@ -37,6 +37,8 @@ struct SearchStats {
   /// unless a CandidateScorer is installed.
   int64_t screened_out = 0;
   int64_t scenario_evals = 0;
+  /// Evaluations abandoned by the watchdog (see EvolutionStats).
+  int64_t eval_timeouts = 0;
 
   /// The one conversion point from a search's EvolutionStats — keeps the
   /// duplicated field lists (here, miner attribution, example totals) from
@@ -50,6 +52,7 @@ struct SearchStats {
     out.pruned_redundant = s.pruned_redundant;
     out.screened_out = s.screened_out;
     out.scenario_evals = s.scenario_evals;
+    out.eval_timeouts = s.eval_timeouts;
     return out;
   }
 
@@ -62,6 +65,7 @@ struct SearchStats {
     pruned_redundant += other.pruned_redundant;
     screened_out += other.screened_out;
     scenario_evals += other.scenario_evals;
+    eval_timeouts += other.eval_timeouts;
   }
 };
 
@@ -82,13 +86,25 @@ class WeaklyCorrelatedMiner {
   WeaklyCorrelatedMiner(EvaluatorPool& pool, EvolutionConfig base_config);
 
   /// Runs one evolutionary search initialized from `init`, with the current
-  /// accepted set as the correlation cutoff reference.
-  EvolutionResult RunSearch(const AlphaProgram& init, uint64_t seed);
+  /// accepted set as the correlation cutoff reference. `checkpoint_sink`
+  /// (optional) receives committed-state snapshots at batch barriers;
+  /// `resume` (optional) re-enters a snapshot a previous process wrote —
+  /// both as in SearchSpec below.
+  EvolutionResult RunSearch(const AlphaProgram& init, uint64_t seed,
+                            CheckpointSink* checkpoint_sink = nullptr,
+                            const EvolutionCheckpoint* resume = nullptr);
 
   /// One (initialization, seed) pair of a multi-seed round.
   struct SearchSpec {
     AlphaProgram init;
     uint64_t seed = 0;
+    /// Optional crash tolerance: a sink that snapshots this search at its
+    /// batch-commit barriers (e.g. a ckpt::CheckpointWriter with a
+    /// per-search file stem), and a snapshot to resume from. Any spec with
+    /// either set forces the round's cache sharing off — checkpointed
+    /// searches need wholly-owned state (see Evolution::UseCheckpointSink).
+    CheckpointSink* checkpoint_sink = nullptr;
+    const EvolutionCheckpoint* resume = nullptr;
   };
 
   /// Runs every spec against the current accepted set and returns results
@@ -152,7 +168,9 @@ class WeaklyCorrelatedMiner {
   std::vector<std::vector<double>> AcceptedReturns() const;
   EvolutionResult RunOne(const AlphaProgram& init, uint64_t seed,
                          std::vector<std::vector<double>> accepted_returns,
-                         FingerprintCache* shared_cache = nullptr);
+                         FingerprintCache* shared_cache = nullptr,
+                         CheckpointSink* checkpoint_sink = nullptr,
+                         const EvolutionCheckpoint* resume = nullptr);
 
   Evaluator* evaluator_ = nullptr;  ///< serial mode
   EvaluatorPool* pool_ = nullptr;   ///< pool-backed mode

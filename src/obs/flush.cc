@@ -1,0 +1,91 @@
+#include "obs/flush.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/progress.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+
+namespace alphaevolve::obs {
+
+namespace {
+
+std::mutex g_mu;
+CrashFlushConfig g_config;
+bool g_armed = false;
+bool g_flushed = false;
+bool g_hooks_installed = false;
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS,
+                                 SIGFPE,  SIGILL,  SIGTERM};
+
+void OnFatalSignal(int sig) {
+  FlushTelemetryArtifacts();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void OnExit() { FlushTelemetryArtifacts(); }
+
+}  // namespace
+
+void InstallCrashFlush(CrashFlushConfig config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_config = std::move(config);
+  g_armed = true;
+  g_flushed = false;
+  if (!g_hooks_installed) {
+    g_hooks_installed = true;
+    std::atexit(OnExit);
+    for (int sig : kFatalSignals) std::signal(sig, OnFatalSignal);
+  }
+}
+
+void DisarmCrashFlush() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed = false;
+  g_config = {};
+}
+
+void FlushTelemetryArtifacts() {
+  CrashFlushConfig config;
+  {
+    // try_lock: if the mutex holder is the thread that just crashed, give up
+    // rather than deadlock — losing the flush beats hanging the crash.
+    if (!g_mu.try_lock()) return;
+    std::lock_guard<std::mutex> lock(g_mu, std::adopt_lock);
+    if (!g_armed || g_flushed) return;
+    g_flushed = true;
+    config = g_config;
+    g_config.reporter = nullptr;
+  }
+  if (config.reporter != nullptr) config.reporter->Stop();
+  if (!config.metrics_path.empty()) {
+    std::ofstream out(config.metrics_path);
+    out << MetricsRegistry::Default().ToJson() << "\n";
+    if (out) {
+      std::fprintf(stderr, "[obs] crash flush wrote %s\n",
+                   config.metrics_path.c_str());
+    }
+  }
+  if (!config.trace_path.empty()) {
+    std::ofstream out(config.trace_path);
+    out << ToChromeTraceJson(TraceRecorder::Default()) << "\n";
+    if (out) {
+      std::fprintf(stderr, "[obs] crash flush wrote %s\n",
+                   config.trace_path.c_str());
+    }
+  }
+}
+
+void CrashFlushForgetReporter(ProgressReporter* reporter) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_config.reporter == reporter) g_config.reporter = nullptr;
+}
+
+}  // namespace alphaevolve::obs

@@ -1,0 +1,49 @@
+#ifndef ALPHAEVOLVE_OBS_FLUSH_H_
+#define ALPHAEVOLVE_OBS_FLUSH_H_
+
+#include <string>
+
+namespace alphaevolve::obs {
+
+class ProgressReporter;
+
+/// What the crash flush should save if the process dies before the normal
+/// artifact-writing path runs.
+struct CrashFlushConfig {
+  std::string metrics_path;  ///< metrics-registry JSON; empty = skip
+  std::string trace_path;    ///< Chrome-trace JSON; empty = skip
+  /// Stopped (final snapshot + join) before the artifacts are written, so
+  /// the progress JSON-lines file gets its last record too. May be null.
+  ProgressReporter* reporter = nullptr;
+};
+
+/// Arms a once-only, best-effort telemetry flush on abnormal exit: a
+/// std::atexit hook plus fatal-signal handlers (SIGSEGV, SIGABRT, SIGBUS,
+/// SIGFPE, SIGILL, SIGTERM) that stop the progress reporter, write the
+/// configured artifacts, then restore the default disposition and re-raise
+/// so the exit status still reports the crash. Calling it again replaces the
+/// config (handlers install once per process).
+///
+/// The signal path is deliberately not async-signal-safe — it allocates and
+/// does file I/O — because the alternative is losing hours of campaign
+/// telemetry; the process was dying anyway, and the flush is guarded to run
+/// at most once. A simulated power cut (fault::kCrashAfterWrite's _Exit)
+/// skips both hooks, exactly like SIGKILL.
+void InstallCrashFlush(CrashFlushConfig config);
+
+/// Disarms the hook — the normal shutdown path (FinishTelemetry) calls this
+/// after writing the artifacts itself so exit does not write them twice.
+void DisarmCrashFlush();
+
+/// Writes the armed artifacts now (idempotent: first call wins). Exposed for
+/// tests; the atexit/signal hooks call this internally.
+void FlushTelemetryArtifacts();
+
+/// Clears a dangling reporter pointer; ProgressReporter's destructor calls
+/// this so a reporter that dies before the process cannot be touched by a
+/// later crash flush.
+void CrashFlushForgetReporter(ProgressReporter* reporter);
+
+}  // namespace alphaevolve::obs
+
+#endif  // ALPHAEVOLVE_OBS_FLUSH_H_

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string_view>
 
+#include "obs/flush.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/json.h"
@@ -41,7 +42,11 @@ ProgressReporter::ProgressReporter(MetricsRegistry& registry, Options options)
   }
 }
 
-ProgressReporter::~ProgressReporter() { Stop(); }
+ProgressReporter::~ProgressReporter() {
+  // A dying reporter must not be reachable from a later crash flush.
+  CrashFlushForgetReporter(this);
+  Stop();
+}
 
 void ProgressReporter::Stop() {
   {

@@ -1,0 +1,96 @@
+#include "util/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+namespace alphaevolve::fault {
+namespace {
+
+struct Config {
+  Kind kind = Kind::kNone;
+  int trigger_at = 1;
+};
+
+std::mutex g_mu;
+bool g_overridden = false;   // SetForTesting beats the environment
+bool g_env_parsed = false;
+Config g_config;
+std::atomic<int64_t> g_fired{0};
+
+Config ActiveConfig() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (!g_overridden && !g_env_parsed) {
+    const char* env = std::getenv("AE_FAULT");
+    if (env != nullptr) {
+      const auto [kind, at] = Parse(env);
+      g_config = {kind, at};
+    }
+    g_env_parsed = true;
+  }
+  return g_config;
+}
+
+}  // namespace
+
+std::pair<Kind, int> Parse(const std::string& spec) {
+  std::string name = spec;
+  int trigger_at = 1;
+  if (const size_t at = spec.find('@'); at != std::string::npos) {
+    name = spec.substr(0, at);
+    trigger_at = std::atoi(spec.c_str() + at + 1);
+    if (trigger_at < 1) trigger_at = 1;
+  }
+  Kind kind = Kind::kNone;
+  if (name == "crash_after_write") kind = Kind::kCrashAfterWrite;
+  else if (name == "torn_write") kind = Kind::kTornWrite;
+  else if (name == "enospc") kind = Kind::kEnospc;
+  else if (name == "eio") kind = Kind::kEio;
+  return {kind, trigger_at};
+}
+
+std::pair<Kind, int> FromEnv() {
+  const char* env = std::getenv("AE_FAULT");
+  if (env == nullptr) return {Kind::kNone, 1};
+  return Parse(env);
+}
+
+Kind Active() { return ActiveConfig().kind; }
+
+bool Fire(Kind kind) {
+  if (kind == Kind::kNone) return false;
+  const Config config = ActiveConfig();
+  if (config.kind != kind) return false;
+  const int64_t n = g_fired.fetch_add(1, std::memory_order_relaxed) + 1;
+  // One-shot kinds fire exactly once; ENOSPC/EIO persist once reached, the
+  // way a full disk stays full.
+  const bool persistent = kind == Kind::kEnospc || kind == Kind::kEio;
+  return persistent ? n >= config.trigger_at : n == config.trigger_at;
+}
+
+void SetForTesting(Kind kind, int trigger_at) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_overridden = true;
+  g_config = {kind, trigger_at < 1 ? 1 : trigger_at};
+  g_fired.store(0, std::memory_order_relaxed);
+}
+
+void ClearForTesting() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_overridden = false;
+  g_env_parsed = false;
+  g_fired.store(0, std::memory_order_relaxed);
+}
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kCrashAfterWrite: return "crash_after_write";
+    case Kind::kTornWrite: return "torn_write";
+    case Kind::kEnospc: return "enospc";
+    case Kind::kEio: return "eio";
+  }
+  return "unknown";
+}
+
+}  // namespace alphaevolve::fault

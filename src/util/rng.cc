@@ -27,6 +27,16 @@ Rng::Rng(uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+std::array<uint64_t, 4> Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::set_state(const std::array<uint64_t, 4>& state) {
+  AE_CHECK_MSG((state[0] | state[1] | state[2] | state[3]) != 0,
+               "Rng::set_state: all-zero state is not a valid xoshiro state");
+  for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<size_t>(i)];
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
   const uint64_t t = s_[1] << 17;

@@ -1,6 +1,7 @@
 #ifndef ALPHAEVOLVE_UTIL_RNG_H_
 #define ALPHAEVOLVE_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -51,6 +52,16 @@ class Rng {
 
   /// Derives an independent child generator (e.g., one per thread/task).
   Rng Fork();
+
+  /// Raw xoshiro256** state — the checkpoint layer's "RNG cursor". Capturing
+  /// and restoring the four words reproduces the stream exactly in O(1),
+  /// with no draw-count replay.
+  std::array<uint64_t, 4> state() const;
+
+  /// Restores a state captured by `state()`. The all-zero state (invalid
+  /// for xoshiro) throws CheckError — it can only come from a corrupt or
+  /// hand-forged snapshot.
+  void set_state(const std::array<uint64_t, 4>& state);
 
  private:
   uint64_t s_[4];

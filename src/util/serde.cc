@@ -1,0 +1,85 @@
+#include "util/serde.h"
+
+#include <array>
+
+namespace alphaevolve::serde {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    c = table[(c ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Writer::Str(std::string_view s) {
+  if (s.size() > UINT32_MAX) throw Error("serde: string too long");
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+std::string Reader::Str() {
+  const uint32_t n = U32();
+  Need(n);
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+std::string Seal(uint32_t kind, std::string_view payload) {
+  Writer w;
+  w.U32(kMagic);
+  w.U32(kVersion);
+  w.U32(kind);
+  w.U64(payload.size());
+  std::string out = w.Take();
+  out.append(payload.data(), payload.size());
+  Writer footer;
+  footer.U32(Crc32(out));
+  out += footer.data();
+  return out;
+}
+
+Envelope Open(std::string_view bytes) {
+  // Header (20) + CRC footer (4) is the smallest possible file.
+  constexpr size_t kHeader = 4 + 4 + 4 + 8;
+  if (bytes.size() < kHeader + 4) {
+    throw Error("serde: file truncated (shorter than header + footer)");
+  }
+  Reader r(bytes);
+  if (r.U32() != kMagic) throw Error("serde: bad magic (not a checkpoint)");
+  Envelope env;
+  env.version = r.U32();
+  if (env.version != kVersion) {
+    throw Error("serde: unsupported version " + std::to_string(env.version) +
+                " (expected " + std::to_string(kVersion) + ")");
+  }
+  env.kind = r.U32();
+  const uint64_t payload_size = r.U64();
+  if (payload_size != bytes.size() - kHeader - 4) {
+    throw Error("serde: payload size mismatch (torn write?)");
+  }
+  const std::string_view body = bytes.substr(0, kHeader + payload_size);
+  Reader footer(bytes.substr(kHeader + payload_size));
+  if (footer.U32() != Crc32(body)) throw Error("serde: CRC mismatch");
+  env.payload = std::string(bytes.substr(kHeader, payload_size));
+  return env;
+}
+
+}  // namespace alphaevolve::serde

@@ -1,0 +1,149 @@
+#ifndef ALPHAEVOLVE_UTIL_SERDE_H_
+#define ALPHAEVOLVE_UTIL_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace alphaevolve::serde {
+
+/// Thrown on any malformed input: a truncated buffer, an oversized length
+/// prefix, a bad magic/version/CRC. Always catchable — a corrupt checkpoint
+/// must degrade to "fall back to the previous generation", never abort.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected, init/final 0xFFFF
+/// FFFF) over `data` — the checkpoint envelope's integrity footer.
+uint32_t Crc32(std::string_view data);
+
+/// Appends fixed-width little-endian primitives to a byte string. The
+/// encoding is explicit byte shifts, never memcpy of host integers, so files
+/// written on any host decode identically everywhere (the islands' wire
+/// format inherits this property).
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) {
+    U8(static_cast<uint8_t>(v));
+    U8(static_cast<uint8_t>(v >> 8));
+  }
+  void U32(uint32_t v) {
+    U16(static_cast<uint16_t>(v));
+    U16(static_cast<uint16_t>(v >> 16));
+  }
+  void U64(uint64_t v) {
+    U32(static_cast<uint32_t>(v));
+    U32(static_cast<uint32_t>(v >> 32));
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));  // exact bit pattern, incl. NaNs
+    U64(bits);
+  }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// Length-prefixed (u32) byte string.
+  void Str(std::string_view s);
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte view. Every accessor throws
+/// serde::Error instead of reading past the end, so a truncated or
+/// garbage payload can never crash or return silently-wrong data.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() {
+    Need(1);
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint16_t U16() {
+    const uint16_t lo = U8();
+    return static_cast<uint16_t>(lo | (static_cast<uint16_t>(U8()) << 8));
+  }
+  uint32_t U32() {
+    const uint32_t lo = U16();
+    return lo | (static_cast<uint32_t>(U16()) << 16);
+  }
+  uint64_t U64() {
+    const uint64_t lo = U32();
+    return lo | (static_cast<uint64_t>(U32()) << 32);
+  }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool Bool() {
+    const uint8_t v = U8();
+    if (v > 1) throw Error("serde: bool byte out of range");
+    return v != 0;
+  }
+  std::string Str();
+
+  /// Guards a length prefix before a loop of `n` elements each at least
+  /// `min_elem_bytes` long: rejects prefixes that could not possibly fit in
+  /// the remaining bytes, so corrupt counts fail fast instead of driving a
+  /// multi-gigabyte allocation.
+  size_t Count(uint64_t n, size_t min_elem_bytes) const {
+    if (min_elem_bytes == 0 || n > remaining() / min_elem_bytes) {
+      throw Error("serde: element count exceeds remaining bytes");
+    }
+    return static_cast<size_t>(n);
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// Throws unless the whole buffer was consumed — trailing garbage in a
+  /// checkpoint payload means the file does not mean what we think it means.
+  void ExpectEnd() const {
+    if (!AtEnd()) throw Error("serde: trailing bytes after payload");
+  }
+
+ private:
+  void Need(size_t n) const {
+    if (remaining() < n) throw Error("serde: read past end of buffer");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Checkpoint file envelope:
+///   [magic "AECK" u32] [version u32] [kind u32] [payload_size u64]
+///   [payload bytes] [crc32 u32 over everything before it]
+/// `kind` says what the payload decodes as (see ckpt/checkpoint.h).
+inline constexpr uint32_t kMagic = 0x4B434541u;  // "AECK" read little-endian
+inline constexpr uint32_t kVersion = 1;
+
+struct Envelope {
+  uint32_t version = 0;
+  uint32_t kind = 0;
+  std::string payload;
+};
+
+/// Frames `payload` into a complete self-verifying file image.
+std::string Seal(uint32_t kind, std::string_view payload);
+
+/// Parses and verifies a file image; throws serde::Error with a reason
+/// (wrong magic, unsupported version, size mismatch, CRC mismatch,
+/// truncation) on anything suspect.
+Envelope Open(std::string_view bytes);
+
+}  // namespace alphaevolve::serde
+
+#endif  // ALPHAEVOLVE_UTIL_SERDE_H_
