@@ -36,6 +36,11 @@
 #                  batch; overhead_pct vs the off run plus snapshot bytes
 #                  and fsync+rename write ms — acceptance is the default
 #                  cadence under 3%)
+#   BENCH_10.json — resident-service op throughput (BM_ServiceOps: req/sec
+#                  and queue-to-response p50/p99 µs from the
+#                  service.op_micros histogram, for job_status / cached
+#                  signals lookups / submit+cancel round trips against a
+#                  live AlphaService)
 #
 # Every record gets a top-level "machine" object (core count, CPU model,
 # AE_NATIVE on/off, hostname, and — from bench_micro's own context — the
@@ -61,6 +66,7 @@ BENCHES=(
   "BENCH_7.json BM_ScenarioFitness"
   "BENCH_8.json BM_TelemetryOverhead"
   "BENCH_9.json BM_CheckpointOverhead"
+  "BENCH_10.json BM_ServiceOps"
 )
 
 if [[ ! -x "$BUILD_DIR/bench_micro" ]]; then

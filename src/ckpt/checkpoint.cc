@@ -25,13 +25,17 @@ struct CkptCounters {
   obs::Counter& writes;
   obs::Counter& write_failures;
   obs::Counter& bytes_written;
+  obs::Counter& fallback_generations;
+  obs::Counter& publish_retries;
 
   static CkptCounters& Get() {
     static CkptCounters* c = [] {
       auto& reg = obs::MetricsRegistry::Default();
       return new CkptCounters{reg.GetCounter("ckpt.writes"),
                               reg.GetCounter("ckpt.write_failures"),
-                              reg.GetCounter("ckpt.bytes_written")};
+                              reg.GetCounter("ckpt.bytes_written"),
+                              reg.GetCounter("ckpt.fallback_generations"),
+                              reg.GetCounter("ckpt.publish_retries")};
     }();
     return *c;
   }
@@ -468,8 +472,28 @@ bool CheckpointWriter::WriteBlob(uint32_t kind, std::string_view payload) {
 
 bool CheckpointWriter::PublishBlob(uint32_t kind, std::string_view payload) {
   std::lock_guard<std::mutex> io_lock(io_mu_);
+  if (PublishBlobOnce(kind, payload)) return true;
+  // One bounded retry: a transient hiccup (brief EIO, a racing unlink, an
+  // interrupted syscall) should not cost the stream a generation. A
+  // persistent failure (full disk) fails both attempts and degrades to the
+  // warning + failure counter below — never more than one extra attempt, so
+  // the search barrier is never held hostage by a dead disk.
+  ++publish_retries_;
+  if (obs::Enabled()) CkptCounters::Get().publish_retries.Add(1);
+  if (PublishBlobOnce(kind, payload)) return true;
+  ++write_failures_;
+  if (obs::Enabled()) CkptCounters::Get().write_failures.Add(1);
+  return false;
+}
+
+bool CheckpointWriter::PublishBlobOnce(uint32_t kind,
+                                       std::string_view payload) {
   AE_SPAN("checkpoint.write");
   const auto t0 = std::chrono::steady_clock::now();
+  if (fault::InjectDelay()) {
+    std::fprintf(stderr, "[ckpt] fault: injected %dms slow I/O on publish\n",
+                 fault::kDelayMillis);
+  }
   std::string image = serde::Seal(kind, payload);
 
   const int64_t generation = next_generation_;
@@ -483,8 +507,6 @@ bool CheckpointWriter::PublishBlob(uint32_t kind, std::string_view payload) {
                  "this snapshot\n",
                  what, final_path.c_str(), std::strerror(errno));
     ::unlink(tmp_path.c_str());
-    ++write_failures_;
-    if (obs::Enabled()) CkptCounters::Get().write_failures.Add(1);
     return false;
   };
 
@@ -569,6 +591,7 @@ std::optional<LoadedCheckpoint> LoadNewest(const std::string& dir,
     if (!in) {
       std::fprintf(stderr, "[ckpt] WARNING: cannot read %s; trying older\n",
                    path.c_str());
+      if (obs::Enabled()) CkptCounters::Get().fallback_generations.Add(1);
       continue;
     }
     std::ostringstream buf;
@@ -582,6 +605,7 @@ std::optional<LoadedCheckpoint> LoadNewest(const std::string& dir,
                    "[ckpt] WARNING: %s is invalid (%s); falling back to "
                    "previous generation\n",
                    path.c_str(), e.what());
+      if (obs::Enabled()) CkptCounters::Get().fallback_generations.Add(1);
     }
   }
   return std::nullopt;

@@ -134,15 +134,22 @@ class CheckpointWriter : public core::CheckpointSink {
   const std::string& stem() const { return stem_; }
   int64_t generations_written() const { return generations_written_; }
   int64_t write_failures() const { return write_failures_; }
+  /// Publishes that needed the one bounded retry (see PublishBlob). A retry
+  /// that succeeds never shows up in write_failures().
+  int64_t publish_retries() const { return publish_retries_; }
   /// Newest generation this writer published (0 before the first).
   int64_t last_generation() const { return next_generation_ - 1; }
   size_t last_snapshot_bytes() const { return last_snapshot_bytes_; }
   double total_write_seconds() const { return total_write_seconds_; }
 
  private:
-  /// The publish dance (temp + fsync + rename + retention); serialized by
-  /// io_mu_ so a direct WriteBlob and the publisher thread never interleave.
+  /// One publish attempt, retried once by PublishBlob (which holds io_mu_
+  /// so a direct WriteBlob and the publisher thread never interleave).
   bool PublishBlob(uint32_t kind, std::string_view payload);
+  /// The publish dance (temp + fsync + rename + retention). Warns on
+  /// failure but leaves failure counting to PublishBlob's retry wrapper —
+  /// one counted failure per publish, not per attempt.
+  bool PublishBlobOnce(uint32_t kind, std::string_view payload);
   void PublisherLoop();
 
   std::string dir_;
@@ -151,6 +158,7 @@ class CheckpointWriter : public core::CheckpointSink {
   std::atomic<int64_t> next_generation_{1};
   std::atomic<int64_t> generations_written_{0};
   std::atomic<int64_t> write_failures_{0};
+  std::atomic<int64_t> publish_retries_{0};
   std::atomic<size_t> last_snapshot_bytes_{0};
   std::atomic<double> total_write_seconds_{0.0};
   std::atomic<bool> wrote_any_{false};

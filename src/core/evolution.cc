@@ -388,6 +388,12 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
            elapsed_base_ + Seconds(start, Clock::now()) >=
                config_.time_budget_seconds;
   };
+  // Cancellation is polled at the same barriers as the budget, so a stopped
+  // run always ends on committed state.
+  auto stop_requested = [&]() {
+    return stop_token_ != nullptr &&
+           stop_token_->load(std::memory_order_acquire);
+  };
 
   // Candidates left before max_candidates; batches are clamped so the
   // counter lands exactly on the bound, like the per-child serial check.
@@ -422,6 +428,7 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
   // The batch-commit barrier is the checkpoint seam: everything the batch
   // changed (stats, trajectory, population, cache inserts) is committed,
   // nothing of the next batch has started.
+  int64_t last_snapshot_batch = -1;
   auto maybe_checkpoint = [&]() {
     ++batches_committed;
     if (ckpt_sink_ == nullptr ||
@@ -431,11 +438,12 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
     ckpt_sink_->WriteCheckpoint(MakeCheckpoint(
         batches_committed, elapsed_base_ + Seconds(start, Clock::now()),
         best_so_far, result, population));
+    last_snapshot_batch = batches_committed;
   };
 
   // P0: mutations of the starting parent (§3 step 1), in batches.
   while (static_cast<int>(population.size()) < config_.population_size &&
-         !out_of_budget()) {
+         !out_of_budget() && !stop_requested()) {
     const int b = static_cast<int>(std::min<int64_t>(
         std::min<int64_t>(batch_cap, remaining_candidates()),
         config_.population_size - static_cast<int>(population.size())));
@@ -459,7 +467,7 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
   // Regularized evolution: draw B tournament parents against the pre-batch
   // population, mutate B children, score the batch, then insert/age in
   // batch order (with B = 1 this is exactly the classic serial loop).
-  while (!out_of_budget() && !population.empty()) {
+  while (!out_of_budget() && !stop_requested() && !population.empty()) {
     const int b = static_cast<int>(
         std::min<int64_t>(batch_cap, remaining_candidates()));
     std::vector<Candidate> batch(static_cast<size_t>(b));
@@ -495,6 +503,15 @@ EvolutionResult Evolution::RunSync(const AlphaProgram& init) {
 
   stats_.elapsed_seconds = elapsed_base_ + Seconds(start, Clock::now());
   result.stats = stats_;
+  result.stopped = stop_requested() && !out_of_budget();
+  // A stopped run leaves a snapshot of its final barrier (unless the cadence
+  // just wrote one there), so cancellation is always resumable.
+  if (result.stopped && ckpt_sink_ != nullptr &&
+      last_snapshot_batch != batches_committed) {
+    ckpt_sink_->WriteCheckpoint(MakeCheckpoint(
+        batches_committed, stats_.elapsed_seconds, best_so_far, result,
+        population));
+  }
   FinishResult(result, population);
   return result;
 }
@@ -568,6 +585,13 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
     return config_.time_budget_seconds > 0.0 &&
            elapsed_base_ + Seconds(start, Clock::now()) >=
                config_.time_budget_seconds;
+  };
+  // Cancellation parks generation exactly like an exhausted budget: the
+  // driver loop below then drains every in-flight batch, so the run ends on
+  // committed (sync-driver-identical) state.
+  auto stop_requested = [&]() {
+    return stop_token_ != nullptr &&
+           stop_token_->load(std::memory_order_acquire);
   };
 
   double best_so_far = kInvalidFitness;
@@ -790,8 +814,9 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
   // same committed-batch count, so one snapshot format serves both drivers
   // and resume is bit-identical at any depth. Commit order, and with it
   // every result, is unchanged; the drain only costs a pipeline refill.
+  int64_t last_snapshot_batch = -1;
   for (;;) {
-    if (!checkpoint_pending && !out_of_budget() &&
+    if (!checkpoint_pending && !out_of_budget() && !stop_requested() &&
         static_cast<int>(in_flight.size()) <= depth) {
       generate_batch();
       continue;
@@ -809,6 +834,7 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
       ckpt_sink_->WriteCheckpoint(MakeCheckpoint(
           batches_committed, elapsed_base_ + Seconds(start, Clock::now()),
           best_so_far, result, population));
+      last_snapshot_batch = batches_committed;
       checkpoint_pending = false;
       continue;
     }
@@ -817,6 +843,15 @@ EvolutionResult Evolution::RunPipelined(const AlphaProgram& init) {
 
   stats_.elapsed_seconds = elapsed_base_ + Seconds(start, Clock::now());
   result.stats = stats_;
+  result.stopped = stop_requested() && !out_of_budget();
+  // Same contract as RunSync: a stopped run's final barrier is always
+  // snapshotted (the pipeline is drained by the time we get here).
+  if (result.stopped && ckpt_sink_ != nullptr &&
+      last_snapshot_batch != batches_committed) {
+    ckpt_sink_->WriteCheckpoint(MakeCheckpoint(
+        batches_committed, stats_.elapsed_seconds, best_so_far, result,
+        population));
+  }
   FinishResult(result, population);
   return result;
 }

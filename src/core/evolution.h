@@ -155,6 +155,12 @@ struct EvolutionStats {
 /// Search output.
 struct EvolutionResult {
   bool has_alpha = false;        ///< False if every candidate was invalid.
+  /// True when a stop token (UseStopToken) ended the run before its budget:
+  /// the result reflects only the batches committed so far, and — with a
+  /// checkpoint sink installed — the newest snapshot holds exactly that
+  /// barrier state, so a resumed run finishes bit-identical to an
+  /// uninterrupted one.
+  bool stopped = false;
   AlphaProgram best;             ///< Best-fitness member of the final population.
   double best_fitness = kInvalidFitness;
   /// Full metrics (incl. test) of `best`, always on the *baseline* panel:
@@ -261,6 +267,16 @@ class Evolution {
   /// fitness the scorer returned), and so are both drivers' determinism
   /// guarantees, since Score is deterministic in (program, seed).
   void UseCandidateScorer(CandidateScorer* scorer) { scorer_ = scorer; }
+
+  /// Installs a cooperative cancellation token (nullptr removes it): the
+  /// drivers poll it at every batch barrier — the same seam the budget gate
+  /// uses — and stop generating once it reads true. The pipelined driver
+  /// drains its in-flight batches first, so the run always ends at committed
+  /// state; with a checkpoint sink installed a final snapshot of that
+  /// barrier is forced (whatever the sink's cadence), which is what lets an
+  /// op-level cancel or deadline leave a resumable stream behind. The token
+  /// may be flipped from any thread; an acquire load observes it.
+  void UseStopToken(const std::atomic<bool>* stop) { stop_token_ = stop; }
 
   /// Installs a checkpoint sink consulted at every batch-commit barrier
   /// (nullptr removes it). Checkpointing requires the per-run cache — a
@@ -379,6 +395,7 @@ class Evolution {
   FingerprintCache* cache_ = &owned_cache_;  ///< may point to a shared cache
   CandidateScorer* scorer_ = nullptr;        ///< optional pluggable fitness
   CheckpointSink* ckpt_sink_ = nullptr;      ///< optional snapshot consumer
+  const std::atomic<bool>* stop_token_ = nullptr;  ///< optional cancel token
   std::optional<EvolutionCheckpoint> resume_;  ///< armed start state
   double elapsed_base_ = 0.0;  ///< wall-clock inherited from a resume
   EvolutionStats stats_;

@@ -1,0 +1,79 @@
+#ifndef ALPHAEVOLVE_SERVICE_JOB_H_
+#define ALPHAEVOLVE_SERVICE_JOB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/evaluator.h"
+#include "core/evolution.h"
+#include "core/program.h"
+
+namespace alphaevolve::service {
+
+/// Envelope kind of a durable job result blob (see serde::Seal; kinds 1 and
+/// 2 belong to the ckpt layer's search/campaign snapshots). A finished job
+/// persists its deterministic result under `<job>.result.g*.ckpt` so a
+/// restarted daemon serves the same bytes without re-running the search.
+inline constexpr uint32_t kJobResultKind = 3;
+
+/// Supervised-job state machine. PENDING and RUNNING are transient; DONE,
+/// FAILED and CANCELLED are terminal for the supervisor loop (a FAILED job
+/// with retry budget left goes back to PENDING after its backoff; CANCELLED
+/// and crash-interrupted jobs resume from their newest checkpoint — via the
+/// resume_job op or daemon restart — bit-identical to an uninterrupted run).
+enum class JobState {
+  kPending,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* JobStateName(JobState state);
+
+/// What a submit_search op pins down. Everything determinism depends on
+/// (seed, candidate budget, population/tournament/batch shape) lives here,
+/// so a resumed job re-runs under exactly the config that produced its
+/// checkpoints.
+struct JobSpec {
+  uint64_t seed = 1;
+  int64_t max_candidates = 240;  ///< candidate-bounded: resumable bit-exactly
+  int population_size = 20;
+  int tournament_size = 5;
+  int batch_size = 8;
+  /// Wall-clock deadline for the whole job (0 = none): a job still RUNNING
+  /// past it is cancelled with a structured deadline_exceeded error — the
+  /// op-level deadline generalized to job granularity.
+  double deadline_seconds = 0.0;
+};
+
+/// The deterministic slice of a finished search — everything the job_result
+/// op serves, and everything the kill-and-resume smoke byte-compares.
+/// Wall-clock (stats.elapsed_seconds) is deliberately excluded from the
+/// wire encoding: it is the one field a resumed run cannot reproduce.
+struct JobResult {
+  bool has_alpha = false;
+  core::AlphaProgram best;
+  double best_fitness = core::kInvalidFitness;
+  core::AlphaMetrics metrics;
+  core::EvolutionStats stats;
+};
+
+/// A copyable snapshot of one job's supervision state, for status ops.
+struct JobStatus {
+  std::string id;
+  JobSpec spec;
+  JobState state = JobState::kPending;
+  int attempts = 0;      ///< runs started (first run included)
+  int resumes = 0;       ///< runs that continued from a checkpoint
+  std::string error;     ///< structured code when FAILED/CANCELLED
+  int64_t candidates = 0;          ///< progress, from the last heartbeat
+  int64_t batches_committed = 0;
+  double backoff_seconds = 0.0;    ///< pending retry delay (0 = none)
+  bool has_result = false;
+  JobResult result;                ///< meaningful when has_result
+};
+
+}  // namespace alphaevolve::service
+
+#endif  // ALPHAEVOLVE_SERVICE_JOB_H_

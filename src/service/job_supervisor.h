@@ -1,0 +1,191 @@
+#ifndef ALPHAEVOLVE_SERVICE_JOB_SUPERVISOR_H_
+#define ALPHAEVOLVE_SERVICE_JOB_SUPERVISOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/evolution.h"
+#include "service/job.h"
+
+namespace alphaevolve::service {
+
+/// Supervision policy for search jobs.
+struct SupervisorOptions {
+  /// Durable root: per-job checkpoint streams (`<id>.g*.ckpt`), result blobs
+  /// (`<id>.result.g*.ckpt`) and the jobs manifest (`jobs.json`) live here.
+  /// Empty runs fully in-memory (tests): checkpoints are held in RAM and a
+  /// process restart loses everything, but in-process resume still works.
+  std::string checkpoint_dir;
+  int worker_threads = 1;   ///< concurrent searches (they share the pool)
+  /// Attempts per job including the first run; a job that keeps failing is
+  /// parked FAILED once the budget is spent.
+  int max_attempts = 4;
+  /// Capped exponential backoff between failing attempts:
+  /// min(initial * 2^(attempts-1), cap).
+  double backoff_initial_seconds = 0.05;
+  double backoff_cap_seconds = 2.0;
+  /// A RUNNING job whose heartbeat (stamped at every batch barrier) is older
+  /// than this is presumed wedged: the monitor cancels it with code
+  /// "stalled" and reschedules from its newest checkpoint. <= 0 disables.
+  double stall_timeout_seconds = 30.0;
+  /// Monitor thread cadence (deadlines, stall detection, retry promotion).
+  double poll_interval_seconds = 0.02;
+  /// Checkpoint cadence and retention handed to each job's CheckpointWriter.
+  int checkpoint_every_batches = 4;
+  int checkpoint_keep = 3;
+};
+
+/// Runs one (possibly resumed) search attempt. Arguments: the job's spec,
+/// the checkpoint sink to install (never null), the snapshot to resume from
+/// (null = fresh start), and the cancellation token to install. The function
+/// must honor the token at batch barriers (core::Evolution::UseStopToken
+/// does) and may throw — a throw is a FAILED attempt, retried under backoff.
+using RunFn = std::function<core::EvolutionResult(
+    const JobSpec& spec, core::CheckpointSink* sink,
+    const core::EvolutionCheckpoint* resume, const std::atomic<bool>* stop)>;
+
+/// Supervises search jobs as crash-recovering state machines:
+///
+///   PENDING ─→ RUNNING ─→ DONE                      (result blob persisted)
+///                 │ ├──→ FAILED ─(backoff, attempts left)→ PENDING
+///                 │ └──→ CANCELLED          (resume_job / Recover reopens)
+///                 └─(drain)→ PENDING                (next start auto-resumes)
+///
+/// Every transition is driven by one of three forces: the worker threads
+/// (run attempts), the monitor thread (deadlines, stall detection via
+/// heartbeats, due-retry promotion), and explicit ops (cancel, resume,
+/// drain). Each attempt after the first resumes from the job's newest valid
+/// on-disk checkpoint, so for candidate-bounded specs the eventual result is
+/// bit-identical to an uninterrupted run no matter how many crashes,
+/// cancels, stalls or process restarts happened in between.
+///
+/// All public methods are thread-safe.
+class JobSupervisor {
+ public:
+  JobSupervisor(SupervisorOptions options, RunFn run_fn);
+  /// Drains (idempotent) and joins all threads.
+  ~JobSupervisor();
+
+  /// Replays `jobs.json` from checkpoint_dir (no-op when in-memory or no
+  /// manifest): DONE jobs reload their persisted result blob; jobs that were
+  /// PENDING/RUNNING/FAILED-with-budget at the crash are requeued to resume
+  /// from their newest checkpoint. Call once, before Start.
+  void Recover();
+
+  /// Spawns the worker + monitor threads. Jobs submitted before Start sit
+  /// PENDING until it runs.
+  void Start();
+
+  /// Queues a new job; returns its id ("job-N"). Rejects (empty string)
+  /// after Drain began.
+  std::string Submit(const JobSpec& spec);
+
+  /// Flips the job's cancel token with a structured code ("cancelled",
+  /// "deadline_exceeded", ...). The running attempt stops at its next batch
+  /// barrier, force-checkpoints, and the job parks CANCELLED (resumable).
+  /// Pending jobs park immediately. False if the id is unknown or terminal.
+  bool Cancel(const std::string& id, const std::string& code = "cancelled");
+
+  /// Requeues a CANCELLED or FAILED job; its next attempt resumes from the
+  /// newest checkpoint. False if unknown or not in a resumable state.
+  bool Resume(const std::string& id);
+
+  std::optional<JobStatus> Status(const std::string& id) const;
+  std::vector<JobStatus> List() const;
+
+  /// Graceful shutdown: stop intake, cancel RUNNING jobs with code
+  /// "drained" (they force-checkpoint and park PENDING so the next process
+  /// resumes them), join workers and monitor, persist the manifest.
+  /// Idempotent.
+  void Drain();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  const SupervisorOptions& options() const { return options_; }
+
+  /// Serializes/parses the deterministic slice of a result (see JobResult:
+  /// stats.elapsed_seconds excluded). Exposed for the result-blob codec
+  /// tests and the daemon's byte-compare smoke.
+  static std::string EncodeResult(const JobResult& result);
+  static JobResult DecodeResult(std::string_view payload);
+
+ private:
+  struct Job {
+    std::string id;
+    JobSpec spec;
+    JobState state = JobState::kPending;
+    int attempts = 0;
+    int resumes = 0;
+    std::string error;
+    bool has_result = false;
+    JobResult result;
+
+    /// Cancellation token for the current attempt; replaced per attempt so
+    /// a stale cancel can never kill a fresh run.
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::string cancel_code;  ///< why the token was flipped
+    /// Attempt liveness, stamped (steady seconds) at every batch barrier by
+    /// the sink wrapper; read by the monitor's stall detector.
+    std::atomic<double> heartbeat_seconds{0.0};
+    std::atomic<int64_t> candidates{0};
+    std::atomic<int64_t> batches_committed{0};
+
+    bool wants_resume = false;  ///< next attempt loads the newest checkpoint
+    double backoff_seconds = 0.0;       ///< current retry delay
+    double next_attempt_seconds = 0.0;  ///< steady time the retry is due
+    double deadline_seconds_abs = 0.0;  ///< steady time of the job deadline
+    /// In-memory checkpoint stream (empty checkpoint_dir only).
+    std::optional<core::EvolutionCheckpoint> memory_ckpt;
+  };
+
+  class HeartbeatSink;  ///< wraps the real sink to stamp liveness
+
+  void WorkerLoop();
+  void MonitorLoop();
+  /// Runs one attempt of `job` (already marked RUNNING under mu_).
+  void RunAttempt(Job& job);
+  void FinishAttempt(Job& job, const core::EvolutionResult& result);
+  void FailAttempt(Job& job, const std::string& why);
+  /// Loads the newest resumable snapshot for `job` (disk or memory).
+  std::optional<core::EvolutionCheckpoint> LoadResume(Job& job);
+  void PersistResult(Job& job);
+  double NowSeconds() const;
+  /// Writes jobs.json (tmp + rename). Caller holds mu_.
+  void SaveManifestLocked();
+  Job* FindLocked(const std::string& id);
+  JobStatus SnapshotLocked(const Job& job) const;
+  /// Queues `job` for a worker. Caller holds mu_.
+  void EnqueueLocked(Job& job);
+
+  SupervisorOptions options_;
+  RunFn run_fn_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::map<std::string, std::unique_ptr<Job>> jobs_;
+  std::deque<std::string> ready_;  ///< PENDING job ids awaiting a worker
+  int64_t next_job_ = 1;
+  bool started_ = false;
+  std::atomic<bool> draining_{false};
+  bool stop_ = false;
+
+  std::mutex drain_mu_;  ///< serializes Drain (idempotent, join-once)
+  bool drained_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread monitor_;
+};
+
+}  // namespace alphaevolve::service
+
+#endif  // ALPHAEVOLVE_SERVICE_JOB_SUPERVISOR_H_

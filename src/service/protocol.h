@@ -1,0 +1,56 @@
+#ifndef ALPHAEVOLVE_SERVICE_PROTOCOL_H_
+#define ALPHAEVOLVE_SERVICE_PROTOCOL_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "util/json.h"
+
+namespace alphaevolve::service {
+
+/// Structured error codes — stable wire strings asserted by tests and the
+/// CI smokes. An op past its deadline or rejected at admission always
+/// carries one of these, never a free-form message alone.
+inline constexpr char kErrBadRequest[] = "bad_request";
+inline constexpr char kErrInvalidArgument[] = "invalid_argument";
+inline constexpr char kErrQueueFull[] = "queue_full";
+inline constexpr char kErrDraining[] = "draining";
+inline constexpr char kErrDeadlineExceeded[] = "deadline_exceeded";
+inline constexpr char kErrNotFound[] = "not_found";
+inline constexpr char kErrCancelled[] = "cancelled";
+inline constexpr char kErrInternal[] = "internal";
+
+/// One parsed protocol line:
+///   {"op":"submit_search","id":"r1","deadline_ms":500,"params":{...}}
+/// `id` is the client's correlation id, echoed verbatim in the response so
+/// requests and (asynchronous) responses pair up over one stream.
+struct Request {
+  std::string op;
+  std::string id;
+  double deadline_ms = 0.0;  ///< relative intake deadline; 0 = none
+  JsonValue params;          ///< the "params" object; null when absent
+};
+
+/// Parses one line. Returns nullopt (and fills *error) on malformed JSON or
+/// a missing/mistyped field; never throws — a bad client must cost the
+/// daemon exactly one error response.
+std::optional<Request> ParseRequest(const std::string& line,
+                                    std::string* error);
+
+/// `{"id":...,"ok":false,"error":{"code":...,"message":...}}`
+std::string ErrorResponse(const std::string& id, const std::string& code,
+                          const std::string& message);
+
+/// `{"id":...,"ok":true,"result":{...}}` — `fill` writes the members of the
+/// result object (the braces are the envelope's).
+std::string OkResponse(const std::string& id,
+                       const std::function<void(JsonWriter&)>& fill);
+
+/// Like OkResponse but splices `raw_json` (a complete JSON value, e.g. the
+/// metrics-registry snapshot) verbatim as the result.
+std::string OkResponseRaw(const std::string& id, const std::string& raw_json);
+
+}  // namespace alphaevolve::service
+
+#endif  // ALPHAEVOLVE_SERVICE_PROTOCOL_H_

@@ -1,8 +1,10 @@
 #include "util/fault.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 
 namespace alphaevolve::fault {
 namespace {
@@ -46,6 +48,7 @@ std::pair<Kind, int> Parse(const std::string& spec) {
   else if (name == "torn_write") kind = Kind::kTornWrite;
   else if (name == "enospc") kind = Kind::kEnospc;
   else if (name == "eio") kind = Kind::kEio;
+  else if (name == "delay") kind = Kind::kDelay;
   return {kind, trigger_at};
 }
 
@@ -62,10 +65,17 @@ bool Fire(Kind kind) {
   const Config config = ActiveConfig();
   if (config.kind != kind) return false;
   const int64_t n = g_fired.fetch_add(1, std::memory_order_relaxed) + 1;
-  // One-shot kinds fire exactly once; ENOSPC/EIO persist once reached, the
-  // way a full disk stays full.
-  const bool persistent = kind == Kind::kEnospc || kind == Kind::kEio;
+  // One-shot kinds fire exactly once; ENOSPC/EIO/delay persist once reached,
+  // the way a full (or slow) disk stays that way.
+  const bool persistent = kind == Kind::kEnospc || kind == Kind::kEio ||
+                          kind == Kind::kDelay;
   return persistent ? n >= config.trigger_at : n == config.trigger_at;
+}
+
+bool InjectDelay() {
+  if (!Fire(Kind::kDelay)) return false;
+  std::this_thread::sleep_for(std::chrono::milliseconds(kDelayMillis));
+  return true;
 }
 
 void SetForTesting(Kind kind, int trigger_at) {
@@ -89,6 +99,7 @@ const char* KindName(Kind kind) {
     case Kind::kTornWrite: return "torn_write";
     case Kind::kEnospc: return "enospc";
     case Kind::kEio: return "eio";
+    case Kind::kDelay: return "delay";
   }
   return "unknown";
 }

@@ -22,22 +22,38 @@ namespace alphaevolve::fault {
 ///                      were full / erroring; the writer must degrade to a
 ///                      warning + counter, never abort the search.
 ///                      Persistent.
+///   delay              every InjectDelay site from the n-th on sleeps
+///                      kDelayMillis — slow I/O / a slow evaluation, for
+///                      deterministic deadline-exceeded tests. Persistent
+///                      (a slow disk stays slow).
 enum class Kind {
   kNone = 0,
   kCrashAfterWrite,
   kTornWrite,
   kEnospc,
   kEio,
+  kDelay,
 };
 
 /// Exit code of the simulated crash, asserted by the kill-and-resume smoke.
 inline constexpr int kCrashExitCode = 42;
+
+/// How long one injected delay sleeps. Long enough that a millisecond-scale
+/// op deadline deterministically expires across it, short enough to keep the
+/// fault-matrix suites fast.
+inline constexpr int kDelayMillis = 100;
 
 /// True iff the active fault is `kind` and this call is the firing occasion
 /// (the n-th Fire of that kind; every later call too for persistent kinds).
 /// When no fault is configured this is one relaxed atomic load + compare —
 /// cheap enough to leave in production code paths.
 bool Fire(Kind kind);
+
+/// Sleeps kDelayMillis iff the delay fault fires at this call (see Fire);
+/// returns whether it slept. Drop this at any latency-sensitive site — the
+/// checkpoint publish path and the service op loop use it — to make
+/// deadline/timeout handling testable without wall-clock races.
+bool InjectDelay();
 
 /// The configured kind (test override first, then AE_FAULT), kNone if none.
 Kind Active();

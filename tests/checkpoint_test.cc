@@ -408,6 +408,20 @@ TEST_F(CheckpointFileTest, TornWriteFaultIsCaughtByReader) {
   EXPECT_EQ(loaded->payload, "good");
 }
 
+TEST_F(CheckpointFileTest, DelayFaultSlowsPublishButSucceeds) {
+  // AE_FAULT=delay models a slow disk, not a broken one: every publish
+  // sleeps ~100ms inside the I/O path but still lands durably.
+  fault::SetForTesting(fault::Kind::kDelay);
+  CheckpointWriter writer(dir_, "s", WriterOptions{});
+  EXPECT_TRUE(writer.WriteBlob(kSearchSnapshotKind, "slow but sure"));
+  EXPECT_EQ(writer.write_failures(), 0);
+  EXPECT_GE(writer.total_write_seconds(), 0.09);
+  const auto loaded = LoadNewest(dir_, "s");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->generation, 1);
+  EXPECT_EQ(loaded->payload, "slow but sure");
+}
+
 TEST_F(CheckpointFileTest, FaultMatrixFromEnv) {
   // The CI fault-injection matrix runs this suite with AE_FAULT set; this
   // test re-arms the env-configured kind (SetUp neutralized it) on the
@@ -431,6 +445,14 @@ TEST_F(CheckpointFileTest, FaultMatrixFromEnv) {
     // The torn generation 2 was published but must be rejected on read.
     EXPECT_TRUE(second_ok);
     EXPECT_EQ(loaded->generation, 1);
+  } else if (kind == fault::Kind::kDelay) {
+    // Latency injection: slow, but both generations land intact.
+    EXPECT_TRUE(second_ok);
+    EXPECT_EQ(writer.write_failures(), 0);
+    EXPECT_EQ(loaded->generation, 2);
+    EXPECT_EQ(loaded->payload, "under delay");
+    EXPECT_GE(writer.total_write_seconds(), 0.09);
+    return;
   } else {
     // ENOSPC/EIO: the write itself degrades gracefully.
     EXPECT_FALSE(second_ok);

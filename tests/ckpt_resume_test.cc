@@ -22,6 +22,7 @@
 #include "core/evolution.h"
 #include "core/generators.h"
 #include "market/simulator.h"
+#include "obs/telemetry.h"
 #include "util/fault.h"
 
 namespace alphaevolve::core {
@@ -295,12 +296,55 @@ TEST_F(CkptResumeFileTest, TornNewestGenerationFallsBackAndResumes) {
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
   out.close();
 
+  // The fallback is observable: ckpt.fallback_generations counts each
+  // generation LoadNewest had to skip past.
+  obs::Configure(obs::TelemetryConfig{.enabled = true});
+  obs::Counter& fallbacks =
+      obs::MetricsRegistry::Default().GetCounter("ckpt.fallback_generations");
+  const int64_t fallbacks_before = fallbacks.Value();
   const auto loaded = ckpt::LoadNewest(dir_, "search");
+  obs::Configure(obs::TelemetryConfig{.enabled = false});
+  EXPECT_EQ(fallbacks.Value(), fallbacks_before + 1);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->generation, newest - 1);
   Evolution resumed_evo(evaluator, cfg);
   resumed_evo.ResumeFrom(ckpt::DecodeSearchSnapshot(loaded->payload));
   ExpectIdentical(reference, resumed_evo.Run(init));
+}
+
+TEST_F(CkptResumeFileTest, PublishRetryIsCountedPerFailedPublish) {
+  // A failed publish is retried once before degrading to a warning; each
+  // retry shows up on the writer accessor and the ckpt.publish_retries
+  // counter. With a persistent EIO fault both the attempt and its retry
+  // fail, so one publish -> one retry -> one write failure.
+  obs::Configure(obs::TelemetryConfig{.enabled = true});
+  obs::Counter& retries =
+      obs::MetricsRegistry::Default().GetCounter("ckpt.publish_retries");
+  const int64_t retries_before = retries.Value();
+
+  fault::SetForTesting(fault::Kind::kEio);
+  ckpt::WriterOptions options;
+  options.background = false;
+  ckpt::CheckpointWriter writer(dir_, "search", options);
+  EXPECT_FALSE(writer.WriteBlob(ckpt::kSearchSnapshotKind, "doomed"));
+  EXPECT_EQ(writer.publish_retries(), 1);
+  EXPECT_EQ(writer.write_failures(), 1);
+  EXPECT_EQ(retries.Value(), retries_before + 1);
+
+  EXPECT_FALSE(writer.WriteBlob(ckpt::kSearchSnapshotKind, "doomed again"));
+  EXPECT_EQ(writer.publish_retries(), 2);
+  EXPECT_EQ(retries.Value(), retries_before + 2);
+
+  // Once the fault clears, the next publish lands without further retries.
+  fault::SetForTesting(fault::Kind::kNone);
+  EXPECT_TRUE(writer.WriteBlob(ckpt::kSearchSnapshotKind, "healed"));
+  EXPECT_EQ(writer.publish_retries(), 2);
+  EXPECT_EQ(retries.Value(), retries_before + 2);
+  obs::Configure(obs::TelemetryConfig{.enabled = false});
+
+  const auto loaded = ckpt::LoadNewest(dir_, "search");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->payload, "healed");
 }
 
 }  // namespace

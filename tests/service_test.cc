@@ -1,0 +1,811 @@
+// Resident-service tests: op-queue admission control, the line protocol,
+// the job supervisor's state machine (completion, retry-with-backoff, stall
+// detection, deadline enforcement, manifest recovery), op-level cancellation
+// leaving a valid newest checkpoint, and the end-to-end AlphaService op
+// catalog — including the bit-identity contract: a search cancelled mid-run
+// and resumed finishes byte-identical to an uninterrupted run.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "core/evaluator_pool.h"
+#include "core/evolution.h"
+#include "core/generators.h"
+#include "market/dataset.h"
+#include "service/alpha_service.h"
+#include "service/job_supervisor.h"
+#include "service/op_queue.h"
+#include "service/protocol.h"
+#include "util/fault.h"
+#include "util/json.h"
+
+namespace alphaevolve::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------------------
+// Op queue.
+
+TEST(OpQueueTest, AdmissionControlNeverBlocks) {
+  OpQueue queue(2);
+  Op op;
+  EXPECT_EQ(queue.TryPush(std::move(op)), PushResult::kOk);
+  Op op2;
+  EXPECT_EQ(queue.TryPush(std::move(op2)), PushResult::kOk);
+  Op op3;
+  EXPECT_EQ(queue.TryPush(std::move(op3)), PushResult::kFull);
+  EXPECT_EQ(queue.depth(), 2u);
+
+  EXPECT_TRUE(queue.Pop().has_value());
+  Op op4;
+  EXPECT_EQ(queue.TryPush(std::move(op4)), PushResult::kOk);
+
+  queue.Close();
+  Op op5;
+  EXPECT_EQ(queue.TryPush(std::move(op5)), PushResult::kClosed);
+  // Already-admitted ops still drain after Close — the drain contract.
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());  // closed + empty
+}
+
+TEST(OpQueueTest, CloseWakesBlockedPop) {
+  OpQueue queue(1);
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    EXPECT_FALSE(queue.Pop().has_value());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(20ms);
+  queue.Close();
+  popper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+
+TEST(ProtocolTest, ParsesWellFormedRequest) {
+  std::string err;
+  auto req = ParseRequest(
+      R"({"op":"submit_search","id":"r1","deadline_ms":250,)"
+      R"("params":{"seed":9}})",
+      &err);
+  ASSERT_TRUE(req.has_value()) << err;
+  EXPECT_EQ(req->op, "submit_search");
+  EXPECT_EQ(req->id, "r1");
+  EXPECT_DOUBLE_EQ(req->deadline_ms, 250.0);
+  EXPECT_EQ(req->params.At("seed").AsInt(), 9);
+}
+
+TEST(ProtocolTest, RejectsMalformedLinesWithoutThrowing) {
+  std::string err;
+  EXPECT_FALSE(ParseRequest("not json at all", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(ParseRequest("[1,2,3]", &err).has_value());
+  EXPECT_FALSE(ParseRequest(R"({"id":"x"})", &err).has_value());  // no op
+  EXPECT_FALSE(ParseRequest(R"({"op":7})", &err).has_value());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"health","deadline_ms":"soon"})", &err)
+          .has_value());
+  EXPECT_FALSE(
+      ParseRequest(R"({"op":"health","params":[1]})", &err).has_value());
+}
+
+TEST(ProtocolTest, ResponsesCarryStructuredEnvelopes) {
+  const JsonValue err =
+      JsonValue::Parse(ErrorResponse("r9", kErrQueueFull, "try later"));
+  EXPECT_EQ(err.At("id").AsString(), "r9");
+  EXPECT_FALSE(err.At("ok").AsBool());
+  EXPECT_EQ(err.At("error").At("code").AsString(), "queue_full");
+  EXPECT_EQ(err.At("error").At("message").AsString(), "try later");
+
+  const JsonValue ok = JsonValue::Parse(OkResponse(
+      "r2", [](JsonWriter& w) { w.Key("answer").Value(int64_t{41}); }));
+  EXPECT_TRUE(ok.At("ok").AsBool());
+  EXPECT_EQ(ok.At("result").At("answer").AsInt(), 41);
+
+  const JsonValue raw =
+      JsonValue::Parse(OkResponseRaw("a\"b", R"({"nested":{"deep":true}})"));
+  EXPECT_EQ(raw.At("id").AsString(), "a\"b");  // id escaping via the writer
+  EXPECT_TRUE(raw.At("result").At("nested").At("deep").AsBool());
+}
+
+// ---------------------------------------------------------------------------
+// Result blob codec.
+
+TEST(JobResultCodecTest, RoundTripsAndExcludesWallClock) {
+  JobResult result;
+  result.has_alpha = true;
+  result.best = core::MakeExpertAlpha(13);
+  result.best_fitness = 0.125;
+  result.metrics.valid = true;
+  result.metrics.ic_valid = 0.125;
+  result.metrics.ic_test = 0.08;
+  result.metrics.sharpe_valid = 1.5;
+  result.metrics.valid_portfolio_returns = {0.01, -0.02};
+  result.stats.candidates = 240;
+  result.stats.evaluated = 200;
+  result.stats.elapsed_seconds = 987.0;  // must NOT survive the wire
+
+  const std::string payload = JobSupervisor::EncodeResult(result);
+  const JobResult back = JobSupervisor::DecodeResult(payload);
+  EXPECT_EQ(back.has_alpha, result.has_alpha);
+  EXPECT_EQ(back.best, result.best);
+  EXPECT_DOUBLE_EQ(back.best_fitness, result.best_fitness);
+  EXPECT_DOUBLE_EQ(back.metrics.ic_valid, result.metrics.ic_valid);
+  EXPECT_EQ(back.metrics.valid_portfolio_returns,
+            result.metrics.valid_portfolio_returns);
+  EXPECT_EQ(back.stats.candidates, 240);
+  EXPECT_DOUBLE_EQ(back.stats.elapsed_seconds, 0.0);
+
+  // Two encodings that differ only in wall-clock are byte-identical — the
+  // property the kill-and-resume smoke's byte compare rests on.
+  JobResult other = result;
+  other.stats.elapsed_seconds = 1.0;
+  EXPECT_EQ(JobSupervisor::EncodeResult(other), payload);
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor state machine (fake run functions, in-memory checkpoints).
+
+SupervisorOptions FastOptions() {
+  SupervisorOptions options;
+  options.poll_interval_seconds = 0.002;
+  options.backoff_initial_seconds = 0.005;
+  options.backoff_cap_seconds = 0.02;
+  options.stall_timeout_seconds = 0.0;  // individual tests opt in
+  return options;
+}
+
+core::EvolutionResult FakeDone(double fitness) {
+  core::EvolutionResult result;
+  result.has_alpha = true;
+  result.best = core::MakeExpertAlpha(13);
+  result.best_fitness = fitness;
+  result.stats.candidates = 10;
+  return result;
+}
+
+/// Polls `pred` until true or the deadline; returns its final value.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds limit = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+JobState StateOf(JobSupervisor& sup, const std::string& id) {
+  auto status = sup.Status(id);
+  return status.has_value() ? status->state : JobState::kPending;
+}
+
+TEST(JobSupervisorTest, RunsJobToDone) {
+  JobSupervisor sup(FastOptions(),
+                    [](const JobSpec&, core::CheckpointSink*,
+                       const core::EvolutionCheckpoint* resume,
+                       const std::atomic<bool>*) {
+                      EXPECT_EQ(resume, nullptr);
+                      return FakeDone(0.5);
+                    });
+  sup.Start();
+  const std::string id = sup.Submit(JobSpec{});
+  ASSERT_FALSE(id.empty());
+  ASSERT_TRUE(WaitFor([&] { return StateOf(sup, id) == JobState::kDone; }));
+  auto status = sup.Status(id);
+  EXPECT_EQ(status->attempts, 1);
+  EXPECT_EQ(status->resumes, 0);
+  ASSERT_TRUE(status->has_result);
+  EXPECT_DOUBLE_EQ(status->result.best_fitness, 0.5);
+  EXPECT_EQ(JobStateName(status->state), std::string("done"));
+}
+
+TEST(JobSupervisorTest, RetriesThrowingAttemptsUnderBackoff) {
+  std::atomic<int> calls{0};
+  JobSupervisor sup(FastOptions(),
+                    [&](const JobSpec&, core::CheckpointSink*,
+                        const core::EvolutionCheckpoint*,
+                        const std::atomic<bool>*) {
+                      if (calls.fetch_add(1) < 2) {
+                        throw std::runtime_error("evaluator exploded");
+                      }
+                      return FakeDone(0.25);
+                    });
+  sup.Start();
+  const std::string id = sup.Submit(JobSpec{});
+  ASSERT_TRUE(WaitFor([&] { return StateOf(sup, id) == JobState::kDone; }));
+  EXPECT_EQ(sup.Status(id)->attempts, 3);
+}
+
+TEST(JobSupervisorTest, ExhaustedRetryBudgetParksFailed) {
+  SupervisorOptions options = FastOptions();
+  options.max_attempts = 2;
+  JobSupervisor sup(options,
+                    [](const JobSpec&, core::CheckpointSink*,
+                       const core::EvolutionCheckpoint*,
+                       const std::atomic<bool>*) -> core::EvolutionResult {
+                      throw std::runtime_error("always broken");
+                    });
+  sup.Start();
+  const std::string id = sup.Submit(JobSpec{});
+  ASSERT_TRUE(WaitFor([&] {
+    auto s = sup.Status(id);
+    return s->state == JobState::kFailed && s->attempts == 2 &&
+           s->backoff_seconds == 0.0;
+  }));
+  EXPECT_EQ(sup.Status(id)->error, "always broken");
+  // Explicit resume_job reopens a parked-FAILED job.
+  EXPECT_TRUE(sup.Resume(id));
+}
+
+TEST(JobSupervisorTest, CancelParksResumableThenResumeContinues) {
+  // First attempt: loop at "batch barriers" until cancelled, checkpointing
+  // through the sink. Resumed attempt: must receive the last snapshot.
+  std::atomic<int> attempt{0};
+  JobSupervisor sup(
+      FastOptions(),
+      [&](const JobSpec&, core::CheckpointSink* sink,
+          const core::EvolutionCheckpoint* resume,
+          const std::atomic<bool>* stop) {
+        if (attempt.fetch_add(1) == 0) {
+          EXPECT_EQ(resume, nullptr);
+          core::EvolutionCheckpoint ck;
+          // Decode validation rejects all-zero RNG state / empty population.
+          ck.rng_state = {1, 2, 3, 4};
+          ck.population.push_back({core::MakeExpertAlpha(13), 0.1});
+          int64_t batch = 0;
+          while (!stop->load(std::memory_order_acquire)) {
+            ++batch;
+            if (sink->WantCheckpoint(batch)) {
+              ck.batches_committed = batch;
+              ck.stats.candidates = batch * 8;
+              sink->WriteCheckpoint(ck);
+            }
+            std::this_thread::sleep_for(1ms);
+          }
+          core::EvolutionResult stopped;
+          stopped.stopped = true;
+          return stopped;
+        }
+        EXPECT_NE(resume, nullptr);
+        if (resume != nullptr) EXPECT_GT(resume->batches_committed, 0);
+        return FakeDone(0.75);
+      });
+  sup.Start();
+  const std::string id = sup.Submit(JobSpec{});
+  // The cadence sink checkpoints at batch 4; batch 5 stamped means the
+  // snapshot exists before we cancel.
+  ASSERT_TRUE(WaitFor([&] {
+    return sup.Status(id)->batches_committed >= 5;
+  }));
+  ASSERT_TRUE(sup.Cancel(id));
+  ASSERT_TRUE(
+      WaitFor([&] { return StateOf(sup, id) == JobState::kCancelled; }));
+  EXPECT_EQ(sup.Status(id)->error, "cancelled");
+  EXPECT_FALSE(sup.Cancel(id));  // terminal: nothing to cancel
+
+  ASSERT_TRUE(sup.Resume(id));
+  ASSERT_TRUE(WaitFor([&] { return StateOf(sup, id) == JobState::kDone; }));
+  auto status = sup.Status(id);
+  EXPECT_EQ(status->resumes, 1);
+  EXPECT_DOUBLE_EQ(status->result.best_fitness, 0.75);
+}
+
+TEST(JobSupervisorTest, JobDeadlineCancelsWithStructuredError) {
+  JobSupervisor sup(FastOptions(),
+                    [](const JobSpec&, core::CheckpointSink* sink,
+                       const core::EvolutionCheckpoint*,
+                       const std::atomic<bool>* stop) {
+                      int64_t batch = 0;
+                      while (!stop->load(std::memory_order_acquire)) {
+                        sink->WantCheckpoint(++batch);  // heartbeat
+                        std::this_thread::sleep_for(1ms);
+                      }
+                      core::EvolutionResult stopped;
+                      stopped.stopped = true;
+                      return stopped;
+                    });
+  sup.Start();
+  JobSpec spec;
+  spec.deadline_seconds = 0.05;
+  const std::string id = sup.Submit(spec);
+  ASSERT_TRUE(
+      WaitFor([&] { return StateOf(sup, id) == JobState::kCancelled; }));
+  EXPECT_EQ(sup.Status(id)->error, "deadline_exceeded");
+}
+
+TEST(JobSupervisorTest, StalledJobIsDetectedAndRetried) {
+  SupervisorOptions options = FastOptions();
+  options.stall_timeout_seconds = 0.05;
+  std::atomic<int> attempt{0};
+  JobSupervisor sup(
+      options,
+      [&](const JobSpec&, core::CheckpointSink* sink,
+          const core::EvolutionCheckpoint*, const std::atomic<bool>* stop) {
+        if (attempt.fetch_add(1) == 0) {
+          // Wedged attempt: never heartbeats, only watches the token.
+          while (!stop->load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(1ms);
+          }
+          core::EvolutionResult stopped;
+          stopped.stopped = true;
+          return stopped;
+        }
+        sink->WantCheckpoint(1);
+        return FakeDone(0.3);
+      });
+  sup.Start();
+  const std::string id = sup.Submit(JobSpec{});
+  ASSERT_TRUE(WaitFor([&] { return StateOf(sup, id) == JobState::kDone; }));
+  auto status = sup.Status(id);
+  EXPECT_EQ(status->attempts, 2);
+  EXPECT_TRUE(status->error.empty());
+}
+
+TEST(JobSupervisorTest, ManifestRecoverServesPersistedResultWithoutRerun) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("ae_service_" + std::to_string(::getpid()) + "_recover"))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SupervisorOptions options = FastOptions();
+  options.checkpoint_dir = dir;
+
+  std::string id;
+  {
+    JobSupervisor sup(options,
+                      [](const JobSpec&, core::CheckpointSink*,
+                         const core::EvolutionCheckpoint*,
+                         const std::atomic<bool>*) { return FakeDone(0.6); });
+    sup.Start();
+    id = sup.Submit(JobSpec{});
+    ASSERT_TRUE(
+        WaitFor([&] { return StateOf(sup, id) == JobState::kDone; }));
+    sup.Drain();
+  }
+
+  // A restarted supervisor must serve the result from the blob: its run
+  // function aborts the test if ever invoked.
+  JobSupervisor restarted(
+      options,
+      [](const JobSpec&, core::CheckpointSink*,
+         const core::EvolutionCheckpoint*,
+         const std::atomic<bool>*) -> core::EvolutionResult {
+        ADD_FAILURE() << "DONE job must not re-run after recovery";
+        return FakeDone(0.0);
+      });
+  restarted.Recover();
+  restarted.Start();
+  auto status = restarted.Status(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->state, JobState::kDone);
+  ASSERT_TRUE(status->has_result);
+  EXPECT_DOUBLE_EQ(status->result.best_fitness, 0.6);
+  restarted.Drain();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JobSupervisorTest, DrainParksRunningJobsPendingForNextProcess) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("ae_service_" + std::to_string(::getpid()) + "_drain"))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SupervisorOptions options = FastOptions();
+  options.checkpoint_dir = dir;
+
+  std::string id;
+  {
+    JobSupervisor sup(
+        options,
+        [](const JobSpec&, core::CheckpointSink* sink,
+           const core::EvolutionCheckpoint*, const std::atomic<bool>* stop) {
+          core::EvolutionCheckpoint ck;
+          // Decode validation rejects all-zero RNG state / empty population.
+          ck.rng_state = {1, 2, 3, 4};
+          ck.population.push_back({core::MakeExpertAlpha(13), 0.1});
+          int64_t batch = 0;
+          while (!stop->load(std::memory_order_acquire)) {
+            ++batch;
+            if (sink->WantCheckpoint(batch)) {
+              ck.batches_committed = batch;
+              sink->WriteCheckpoint(ck);
+            }
+            std::this_thread::sleep_for(1ms);
+          }
+          core::EvolutionResult stopped;
+          stopped.stopped = true;
+          return stopped;
+        });
+    sup.Start();
+    id = sup.Submit(JobSpec{});
+    // Past the batch-4 cadence barrier: a durable snapshot exists.
+    ASSERT_TRUE(
+        WaitFor([&] { return sup.Status(id)->batches_committed >= 5; }));
+    sup.Drain();
+    EXPECT_EQ(StateOf(sup, id), JobState::kPending);
+    EXPECT_TRUE(sup.Submit(JobSpec{}).empty());  // intake closed
+  }
+  // The checkpoint stream survived the drain for the next process.
+  EXPECT_TRUE(ckpt::LoadNewest(dir, id).has_value());
+
+  JobSupervisor next(options,
+                     [](const JobSpec&, core::CheckpointSink*,
+                        const core::EvolutionCheckpoint* resume,
+                        const std::atomic<bool>*) {
+                       EXPECT_NE(resume, nullptr);
+                       if (resume != nullptr) {
+                         EXPECT_GT(resume->batches_committed, 0);
+                       }
+                       return FakeDone(0.9);
+                     });
+  next.Recover();
+  next.Start();
+  ASSERT_TRUE(WaitFor([&] { return StateOf(next, id) == JobState::kDone; }));
+  EXPECT_EQ(next.Status(id)->resumes, 1);
+  next.Drain();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Op-level cancellation against the real search engine: a stop token flipped
+// mid-run must leave a valid newest checkpoint from which a fresh Evolution
+// finishes bit-identical to the uncancelled candidate-bounded run.
+
+class ServiceSearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    market::MarketConfig mc;
+    mc.num_stocks = 24;
+    mc.num_days = 220;
+    mc.seed = 13;
+    dataset_ = new market::Dataset(
+        market::Dataset::Simulate(mc, market::DatasetConfig{}));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  void SetUp() override {
+    fault::SetForTesting(fault::Kind::kNone);
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("ae_service_" + std::to_string(::getpid()) + "_" + info->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    fault::ClearForTesting();
+  }
+
+  static core::EvolutionConfig SearchConfig() {
+    core::EvolutionConfig cfg;
+    cfg.max_candidates = 240;
+    cfg.population_size = 20;
+    cfg.tournament_size = 5;
+    cfg.batch_size = 8;
+    cfg.seed = 7;
+    // Checkpointing requires the per-run cache; the reference run uses the
+    // same setting so all three runs share identical cache semantics.
+    cfg.share_round_cache = false;
+    return cfg;
+  }
+
+  std::string dir_;
+  static market::Dataset* dataset_;
+};
+
+market::Dataset* ServiceSearchTest::dataset_ = nullptr;
+
+/// Flips a stop token once `after_batches` barriers have committed, from
+/// inside the sink callback — deterministic mid-run cancellation.
+class CancelAfterSink : public core::CheckpointSink {
+ public:
+  CancelAfterSink(core::CheckpointSink* inner, std::atomic<bool>* token,
+                  int64_t after_batches)
+      : inner_(inner), token_(token), after_(after_batches) {}
+  bool WantCheckpoint(int64_t batches_committed) override {
+    if (batches_committed >= after_) {
+      token_->store(true, std::memory_order_release);
+    }
+    return inner_->WantCheckpoint(batches_committed);
+  }
+  void WriteCheckpoint(const core::EvolutionCheckpoint& ck) override {
+    inner_->WriteCheckpoint(ck);
+  }
+
+ private:
+  core::CheckpointSink* inner_;
+  std::atomic<bool>* token_;
+  int64_t after_;
+};
+
+TEST_F(ServiceSearchTest, CancelledRunLeavesValidNewestCheckpointAndResumes) {
+  const core::EvolutionConfig cfg = SearchConfig();
+  core::Evaluator evaluator(*dataset_, core::EvaluatorConfig{});
+  const core::AlphaProgram init = core::MakeExpertAlpha(dataset_->window());
+
+  core::Evolution reference(evaluator, cfg);
+  const core::EvolutionResult uncancelled = reference.Run(init);
+  ASSERT_TRUE(uncancelled.has_alpha);
+  EXPECT_FALSE(uncancelled.stopped);
+
+  // Cancel mid-run at the 6th barrier (of 30): the forced final snapshot
+  // must capture exactly the committed state.
+  ckpt::WriterOptions wo;
+  wo.every_batches = 4;
+  ckpt::CheckpointWriter writer(dir_, "job", wo);
+  std::atomic<bool> token{false};
+  CancelAfterSink sink(&writer, &token, /*after_batches=*/6);
+  core::Evolution cancelled_evo(evaluator, cfg);
+  cancelled_evo.UseCheckpointSink(&sink);
+  cancelled_evo.UseStopToken(&token);
+  const core::EvolutionResult cancelled = cancelled_evo.Run(init);
+  EXPECT_TRUE(cancelled.stopped);
+  EXPECT_LT(cancelled.stats.candidates, uncancelled.stats.candidates);
+  writer.Flush();
+
+  const auto newest = ckpt::LoadNewest(dir_, "job");
+  ASSERT_TRUE(newest.has_value()) << "cancel must leave a valid checkpoint";
+  ASSERT_EQ(newest->kind, ckpt::kSearchSnapshotKind);
+  const core::EvolutionCheckpoint snap =
+      ckpt::DecodeSearchSnapshot(newest->payload);
+  EXPECT_GE(snap.batches_committed, 6);
+
+  core::Evolution resumed_evo(evaluator, cfg);
+  resumed_evo.ResumeFrom(snap);
+  const core::EvolutionResult resumed = resumed_evo.Run(init);
+  EXPECT_FALSE(resumed.stopped);
+  EXPECT_EQ(resumed.best, uncancelled.best);
+  EXPECT_DOUBLE_EQ(resumed.best_fitness, uncancelled.best_fitness);
+  EXPECT_EQ(resumed.stats.candidates, uncancelled.stats.candidates);
+  EXPECT_EQ(resumed.stats.evaluated, uncancelled.stats.evaluated);
+  EXPECT_EQ(resumed.stats.cache_hits, uncancelled.stats.cache_hits);
+  EXPECT_EQ(resumed.stats.cutoff_discarded,
+            uncancelled.stats.cutoff_discarded);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end service: the op catalog over the real engine.
+
+ServiceOptions SmallService(const std::string& dir) {
+  ServiceOptions options;
+  options.num_stocks = 24;
+  options.num_days = 220;
+  options.data_seed = 13;
+  options.eval_threads = 2;
+  options.op_workers = 2;
+  options.supervisor.checkpoint_dir = dir;
+  options.supervisor.poll_interval_seconds = 0.005;
+  options.supervisor.checkpoint_every_batches = 2;
+  options.default_job.max_candidates = 96;
+  options.default_job.population_size = 20;
+  options.default_job.tournament_size = 5;
+  options.default_job.batch_size = 8;
+  return options;
+}
+
+JsonValue Ok(const std::string& response) {
+  JsonValue doc = JsonValue::Parse(response);
+  EXPECT_TRUE(doc.At("ok").AsBool()) << response;
+  return doc;
+}
+
+std::string ErrCode(const std::string& response) {
+  JsonValue doc = JsonValue::Parse(response);
+  EXPECT_FALSE(doc.At("ok").AsBool()) << response;
+  return doc.At("error").At("code").AsString();
+}
+
+TEST_F(ServiceSearchTest, OpCatalogEndToEnd) {
+  AlphaService service(SmallService(dir_));
+
+  // Readiness, malformed input, unknown ops, unknown jobs.
+  EXPECT_EQ(Ok(service.Call(R"({"op":"health","id":"h"})"))
+                .At("result").At("status").AsString(),
+            "ok");
+  EXPECT_EQ(ErrCode(service.Call("garbage")), std::string(kErrBadRequest));
+  EXPECT_EQ(ErrCode(service.Call(R"({"op":"teleport","id":"t"})")),
+            std::string(kErrBadRequest));
+  EXPECT_EQ(ErrCode(service.Call(
+                R"({"op":"job_status","id":"q","params":{"job":"job-99"}})")),
+            std::string(kErrNotFound));
+  EXPECT_EQ(ErrCode(service.Call(
+                R"({"op":"submit_search","id":"b","params":{"batch_size":0}})")),
+            std::string(kErrInvalidArgument));
+
+  // Run one search to completion through the protocol.
+  JsonValue submitted = Ok(service.Call(
+      R"({"op":"submit_search","id":"s1","params":{"seed":7}})"));
+  const std::string job = submitted.At("result").At("job").AsString();
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        JsonValue doc = Ok(service.Call(
+            R"({"op":"job_status","id":"p","params":{"job":")" + job +
+            R"("}})"));
+        return doc.At("result").At("state").AsString() == "done";
+      },
+      60000ms));
+
+  JsonValue result = Ok(service.Call(
+      R"({"op":"job_result","id":"r","params":{"job":")" + job + R"("}})"));
+  EXPECT_TRUE(result.At("result").At("has_alpha").AsBool());
+  const double fitness = result.At("result").At("best_fitness").AsDouble();
+
+  // query_alphas lists the mined set; backtest reproduces the search's own
+  // reported metrics for the winner (same pruned program + seed).
+  JsonValue alphas = Ok(service.Call(R"({"op":"query_alphas","id":"qa"})"));
+  ASSERT_EQ(alphas.At("result").At("alphas").AsArray().size(), 1u);
+  EXPECT_DOUBLE_EQ(alphas.At("result").At("alphas").AsArray()[0]
+                       .At("fitness").AsDouble(),
+                   fitness);
+  JsonValue backtest = Ok(service.Call(
+      R"({"op":"backtest","id":"bt","params":{"job":")" + job + R"("}})"));
+  EXPECT_DOUBLE_EQ(backtest.At("result").At("ic_valid").AsDouble(),
+                   result.At("result").At("metrics").At("ic_valid")
+                       .AsDouble());
+
+  // Signal lookups: a full prediction row per date, out-of-range rejected.
+  JsonValue signals = Ok(service.Call(
+      R"({"op":"signals","id":"sg","params":{"job":")" + job +
+      R"(","split":"valid","date":0}})"));
+  EXPECT_EQ(static_cast<int>(
+                signals.At("result").At("predictions").AsArray().size()),
+            service.dataset().num_tasks());
+  EXPECT_EQ(ErrCode(service.Call(
+                R"({"op":"signals","id":"sg2","params":{"job":")" + job +
+                R"(","split":"valid","date":99999}})")),
+            std::string(kErrInvalidArgument));
+
+  // metrics exposes the service.* instruments when telemetry is on; the
+  // op itself must work either way.
+  Ok(service.Call(R"({"op":"metrics","id":"m"})"));
+
+  // Drain: subsequent intake is rejected, health still answers.
+  service.Drain();
+  EXPECT_EQ(ErrCode(service.Call(R"({"op":"list_jobs","id":"l"})")),
+            std::string(kErrDraining));
+  EXPECT_EQ(Ok(service.Call(R"({"op":"health","id":"h2"})"))
+                .At("result").At("status").AsString(),
+            "draining");
+}
+
+TEST_F(ServiceSearchTest, CancelledJobResumesByteIdenticalToUninterrupted) {
+  // The tentpole's acceptance contract, in-process: job-1 is cancelled
+  // mid-run, then resumed; job-2 runs the same spec uninterrupted. Their
+  // job_result payloads must be byte-identical.
+  AlphaService service(SmallService(dir_));
+
+  JsonValue submitted = Ok(service.Call(
+      R"({"op":"submit_search","id":"s1","params":{"seed":7,"max_candidates":240}})"));
+  const std::string job1 = submitted.At("result").At("job").AsString();
+
+  // Wait until at least two barriers committed, then cancel mid-run.
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        JsonValue doc = Ok(service.Call(
+            R"({"op":"job_status","id":"p","params":{"job":")" + job1 +
+            R"("}})"));
+        return doc.At("result").At("batches_committed").AsInt() >= 2;
+      },
+      60000ms));
+  Ok(service.Call(R"({"op":"cancel_job","id":"c","params":{"job":")" + job1 +
+                  R"("}})"));
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        JsonValue doc = Ok(service.Call(
+            R"({"op":"job_status","id":"p2","params":{"job":")" + job1 +
+            R"("}})"));
+        return doc.At("result").At("state").AsString() == "cancelled";
+      },
+      60000ms));
+  // The cancel left a valid newest checkpoint behind.
+  EXPECT_TRUE(ckpt::LoadNewest(dir_, job1).has_value());
+  EXPECT_EQ(ErrCode(service.Call(
+                R"({"op":"job_result","id":"nr","params":{"job":")" + job1 +
+                R"("}})")),
+            std::string(kErrNotFound));
+
+  Ok(service.Call(R"({"op":"resume_job","id":"rs","params":{"job":")" + job1 +
+                  R"("}})"));
+  JsonValue submitted2 = Ok(service.Call(
+      R"({"op":"submit_search","id":"s2","params":{"seed":7,"max_candidates":240}})"));
+  const std::string job2 = submitted2.At("result").At("job").AsString();
+
+  auto done = [&](const std::string& job) {
+    JsonValue doc = Ok(service.Call(
+        R"({"op":"job_status","id":"w","params":{"job":")" + job + R"("}})"));
+    return doc.At("result").At("state").AsString() == "done";
+  };
+  ASSERT_TRUE(WaitFor([&] { return done(job1) && done(job2); }, 120000ms));
+
+  const std::string result1 = service.Call(
+      R"({"op":"job_result","id":"x","params":{"job":")" + job1 + R"("}})");
+  const std::string result2 = service.Call(
+      R"({"op":"job_result","id":"x","params":{"job":")" + job2 + R"("}})");
+  // Strip the distinct request-id envelopes down to the result objects.
+  const size_t cut1 = result1.find("\"result\":");
+  const size_t cut2 = result2.find("\"result\":");
+  ASSERT_NE(cut1, std::string::npos);
+  ASSERT_NE(cut2, std::string::npos);
+  EXPECT_EQ(result1.substr(cut1), result2.substr(cut2))
+      << "resumed job result must be byte-identical to uninterrupted run";
+
+  // The resumed job really did resume (not restart).
+  JsonValue status1 = Ok(service.Call(
+      R"({"op":"job_status","id":"f","params":{"job":")" + job1 + R"("}})"));
+  EXPECT_GE(status1.At("result").At("resumes").AsInt(), 1);
+}
+
+TEST_F(ServiceSearchTest, DeadlineExceededUnderInjectedDelay) {
+  // AE_FAULT=delay makes the op worker sleep 100ms between the two deadline
+  // checks, so a 30ms deadline deterministically expires mid-handling.
+  ServiceOptions options = SmallService(dir_);
+  options.op_workers = 1;
+  AlphaService service(options);
+  fault::SetForTesting(fault::Kind::kDelay);
+  EXPECT_EQ(ErrCode(service.Call(
+                R"({"op":"list_jobs","id":"slow","deadline_ms":30})")),
+            std::string(kErrDeadlineExceeded));
+  fault::SetForTesting(fault::Kind::kNone);
+  // Without the fault the same deadline is generous.
+  Ok(service.Call(R"({"op":"list_jobs","id":"fast","deadline_ms":5000})"));
+}
+
+TEST_F(ServiceSearchTest, FullQueueRejectsWithStructuredError) {
+  ServiceOptions options = SmallService(dir_);
+  options.op_workers = 1;
+  options.queue_capacity = 1;
+  AlphaService service(options);
+  // Every op's handling sleeps 100ms (persistent delay fault), so the
+  // single worker is busy while later submissions hit the bounded queue.
+  fault::SetForTesting(fault::Kind::kDelay);
+  std::mutex mu;
+  std::vector<std::string> responses;
+  std::atomic<int> pending{3};
+  for (int i = 0; i < 3; ++i) {
+    service.Submit(R"({"op":"list_jobs","id":"q)" + std::to_string(i) +
+                       R"("})",
+                   [&](const std::string& response) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     responses.push_back(response);
+                     pending.fetch_sub(1);
+                   });
+  }
+  ASSERT_TRUE(WaitFor([&] { return pending.load() == 0; }));
+  fault::SetForTesting(fault::Kind::kNone);
+  int ok = 0, full = 0;
+  for (const std::string& response : responses) {
+    JsonValue doc = JsonValue::Parse(response);
+    if (doc.At("ok").AsBool()) {
+      ++ok;
+    } else if (doc.At("error").At("code").AsString() == kErrQueueFull) {
+      ++full;
+    }
+  }
+  EXPECT_GE(ok, 1);   // admitted work still completes
+  EXPECT_GE(full, 1); // and the overflow was told so, immediately
+  // health answers inline even with the queue busy.
+  Ok(service.Call(R"({"op":"health","id":"h"})"));
+}
+
+}  // namespace
+}  // namespace alphaevolve::service
